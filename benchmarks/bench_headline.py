@@ -1,0 +1,34 @@
+"""HEADLINE — the abstract's claim: "multithreading support can improve the
+total throughput of a CGRA by over 30%, 75%, and 150% on 4x4, 6x6, and 8x8
+CGRAs, respectively, compared to single-threaded methods".
+
+The paper's numbers are best-configuration improvements; we require the
+same thresholds from the best (page size, need, thread count) cell per
+array size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.bench.fig8 import page_sizes_for
+from repro.bench.fig9 import best_improvement, run_fig9
+
+THRESHOLDS = {4: 0.30, 6: 0.75, 8: 1.50}
+
+
+@pytest.mark.parametrize("size", [4, 6, 8])
+def test_headline_threshold(benchmark, store, size):
+    def run():
+        return max(
+            best_improvement(run_fig9(size, ps, store=store, repeats=2))
+            for ps in page_sizes_for(size)
+        )
+
+    best = benchmark.pedantic(run, iterations=1, rounds=1)
+    emit(
+        f"{size}x{size}: best improvement {best * 100:.1f}% "
+        f"(paper claims > {THRESHOLDS[size] * 100:.0f}%)"
+    )
+    assert best > THRESHOLDS[size]

@@ -1,0 +1,22 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every bench target regenerates one of the paper's tables/figures and
+prints the series it produces; compilation results are memoised in the
+repository-level profile cache so repeated runs are fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.profiles import ProfileStore
+
+
+@pytest.fixture(scope="session")
+def store() -> ProfileStore:
+    return ProfileStore()
+
+
+def emit(text: str) -> None:
+    """Print a result block, keeping benchmark output readable."""
+    print("\n" + text)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Inspecting what a mapped kernel actually does, cycle by cycle.
+
+Shows the debugging workflow a compiler developer would use: render the
+mapping on the PE grid, trace its execution (every firing with operand
+values), follow one dataflow value through the fabric, and watch the OS
+manager's timeline in a small multithreaded run.
+
+Run:  python examples/tracing_and_debugging.py
+"""
+
+from repro import viz
+from repro.arch import CGRA
+from repro.compiler import map_dfg
+from repro.kernels import bind_memory, get_kernel
+from repro.sim import lower_mapping, simulate
+from repro.sim.system import KernelProfile, SystemConfig, simulate_system
+from repro.sim.trace import CycleTrace, SystemTimeline
+from repro.sim.workload import Segment, ThreadSpec
+
+TRIP = 4
+
+
+def main() -> None:
+    cgra = CGRA(4, 4, rf_depth=8)
+    spec = get_kernel("sor")
+    dfg, arrays, _ = spec.fresh(seed=0, trip=TRIP)
+    mapping = map_dfg(dfg, cgra)
+
+    print("=== the mapping on the grid")
+    print(viz.render_mapping(mapping))
+
+    print("\n=== cycle trace (first three cycles)")
+    mem = bind_memory(arrays)
+    trace = CycleTrace()
+    simulate(lower_mapping(mapping, mem, TRIP), cgra, mem, trace=trace)
+    print(trace.render(first=0, last=2))
+
+    print("\n=== following the recurrence value ('relax' = out[i])")
+    for rec in trace.of_op("relax"):
+        print(
+            f"  iteration {rec.iteration}: relax({', '.join(map(str, rec.operands))})"
+            f" -> {rec.value}  (cycle {rec.cycle}, PE {rec.pe})"
+        )
+
+    print("\n=== OS timeline of a tiny multithreaded run")
+    profiles = {"k": KernelProfile("k", 2, 2, pages_used=4)}
+    workload = [
+        ThreadSpec(0, (Segment("cgra", kernel="k", trip=40),)),
+        ThreadSpec(1, (Segment("cgra", kernel="k", trip=20),), arrival=20),
+    ]
+    timeline = SystemTimeline()
+    simulate_system(
+        workload,
+        SystemConfig(n_pages=4, profiles=profiles),
+        "multithreaded",
+        timeline=timeline,
+    )
+    print(timeline.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""CGRA architecture model.
+
+This package models the hardware substrate of the paper (Fig. 1): a 2-D grid
+of processing elements (PEs) connected by a mesh interconnect, each PE an ALU
+with a local rotating register file, plus a data memory with one shared bus
+per row and a per-PE configuration memory written by the compiler.
+"""
+
+from repro.arch.isa import Opcode, OPCODE_INFO, evaluate, is_memory_op
+from repro.arch.interconnect import Coord, Interconnect
+from repro.arch.register_file import RotatingRegisterFile
+from repro.arch.memory import DataMemory, ArraySpec
+from repro.arch.pe import ProcessingElement
+from repro.arch.cgra import CGRA
+from repro.arch.config import (
+    OperandSource,
+    ReadNeighbor,
+    ReadRotating,
+    Immediate,
+    AddressPattern,
+    SlotConfig,
+    ConfigTable,
+)
+
+__all__ = [
+    "Opcode",
+    "OPCODE_INFO",
+    "evaluate",
+    "is_memory_op",
+    "Coord",
+    "Interconnect",
+    "RotatingRegisterFile",
+    "DataMemory",
+    "ArraySpec",
+    "ProcessingElement",
+    "CGRA",
+    "OperandSource",
+    "ReadNeighbor",
+    "ReadRotating",
+    "Immediate",
+    "AddressPattern",
+    "SlotConfig",
+    "ConfigTable",
+]

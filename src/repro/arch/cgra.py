@@ -1,0 +1,81 @@
+"""Top-level CGRA architecture description.
+
+Bundles the pieces of Fig. 1 into one immutable-ish description object that
+the compiler, the paging layer and the simulators all consume: grid size,
+interconnect flavour, rotating-register-file depth, and the per-row data-bus
+memory port model (§III: "a shared data bus for each row of the CGRA").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.interconnect import Coord, Interconnect
+from repro.util.errors import ArchitectureError
+
+__all__ = ["CGRA"]
+
+
+@dataclass
+class CGRA:
+    """A coarse-grained reconfigurable array.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions (the paper evaluates 4x4, 6x6 and 8x8).
+    rf_depth:
+        Rotating registers per PE.  The paper's architecture-support
+        requirement (§VI-E) is *N* registers, N = number of pages, so a
+        whole-array schedule can always be folded onto one page; callers
+        building paged systems should size this accordingly.
+    mem_ports_per_row:
+        How many memory operations one row's data bus can serve per cycle.
+    diagonal, torus:
+        Interconnect flavour; the paper uses a plain 4-neighbour mesh.
+    """
+
+    rows: int
+    cols: int
+    rf_depth: int = 8
+    mem_ports_per_row: int = 1
+    diagonal: bool = False
+    torus: bool = False
+    interconnect: Interconnect = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ArchitectureError(f"bad grid {self.rows}x{self.cols}")
+        if self.rf_depth <= 0:
+            raise ArchitectureError(f"rf_depth must be >= 1, got {self.rf_depth}")
+        if self.mem_ports_per_row <= 0:
+            raise ArchitectureError(
+                f"mem_ports_per_row must be >= 1, got {self.mem_ports_per_row}"
+            )
+        self.interconnect = Interconnect(
+            self.rows, self.cols, diagonal=self.diagonal, torus=self.torus
+        )
+
+    # -- convenience passthroughs ------------------------------------------------
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self):
+        return self.interconnect.coords()
+
+    def neighbors(self, c: Coord):
+        return self.interconnect.neighbors(c)
+
+    def adjacent_or_same(self, a: Coord, b: Coord) -> bool:
+        return self.interconnect.adjacent_or_same(a, b)
+
+    def describe(self) -> str:
+        return (
+            f"{self.rows}x{self.cols} CGRA "
+            f"(rf_depth={self.rf_depth}, "
+            f"mem_ports/row={self.mem_ports_per_row}, "
+            f"{'8' if self.diagonal else '4'}-neighbour mesh"
+            f"{', torus' if self.torus else ''})"
+        )

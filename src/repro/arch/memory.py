@@ -1,0 +1,130 @@
+"""On-chip data memory of the CGRA.
+
+The paper's architecture (Fig. 1) has a data memory shared by the array, with
+one data bus per row of PEs, plus "a global storage area reserved by the
+compiler in the Data Memory".  This module models:
+
+* a word-addressed memory with a symbol table of named arrays (kernel inputs
+  and outputs live here), and
+* a reserved *global storage area* that the runtime transformation uses to
+  carry values between page instances that land on non-adjacent PEs
+  (see :mod:`repro.core.mirroring` for when that happens).
+
+Bus arbitration (at most one memory operation per row per cycle) is a
+*compile-time* resource enforced by the mapper's reservation table and
+re-checked by the simulator; the memory itself only does loads and stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import SimulationError
+
+__all__ = ["ArraySpec", "DataMemory"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A named array bound into the data memory."""
+
+    name: str
+    base: int
+    length: int
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.length
+
+
+class DataMemory:
+    """Word-addressed data memory with named arrays and a reserved area.
+
+    ``size`` is the number of 32-bit words.  Arrays are allocated
+    sequentially from address 0 with :meth:`bind_array`; the global storage
+    area (used only by the runtime transformation) grows from the top of
+    memory via :meth:`reserve_global_storage`.
+    """
+
+    def __init__(self, size: int = 1 << 16) -> None:
+        if size <= 0:
+            raise SimulationError(f"memory size must be positive, got {size}")
+        self.size = size
+        self._words = np.zeros(size, dtype=np.int64)
+        self._arrays: dict[str, ArraySpec] = {}
+        self._next_base = 0
+        self._global_storage_base = size  # grows downward
+        self.load_count = 0
+        self.store_count = 0
+
+    # -- allocation -------------------------------------------------------------
+
+    def bind_array(self, name: str, values) -> ArraySpec:
+        """Allocate and initialise a named array; returns its spec."""
+        if name in self._arrays:
+            raise SimulationError(f"array {name!r} already bound")
+        data = np.asarray(values, dtype=np.int64)
+        if data.ndim != 1:
+            raise SimulationError(f"array {name!r} must be 1-D, got {data.ndim}-D")
+        length = int(data.shape[0])
+        if self._next_base + length > self._global_storage_base:
+            raise SimulationError(
+                f"out of data memory binding {name!r} "
+                f"({length} words at {self._next_base})"
+            )
+        spec = ArraySpec(name, self._next_base, length)
+        self._words[spec.base : spec.base + length] = data
+        self._arrays[name] = spec
+        self._next_base += length
+        return spec
+
+    def alloc_array(self, name: str, length: int, fill: int = 0) -> ArraySpec:
+        """Allocate a named output array of *length* words."""
+        return self.bind_array(name, np.full(length, fill, dtype=np.int64))
+
+    def reserve_global_storage(self, words: int) -> int:
+        """Reserve *words* at the top of memory for the transformation.
+
+        Returns the base address of the reserved block.  This is the
+        paper's "global storage area reserved by the compiler".
+        """
+        if words < 0:
+            raise SimulationError(f"cannot reserve {words} words")
+        base = self._global_storage_base - words
+        if base < self._next_base:
+            raise SimulationError(
+                f"global storage of {words} words collides with arrays "
+                f"(top of arrays at {self._next_base})"
+            )
+        self._global_storage_base = base
+        return base
+
+    # -- access -----------------------------------------------------------------
+
+    def array(self, name: str) -> ArraySpec:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise SimulationError(f"no array named {name!r}") from None
+
+    def read_array(self, name: str) -> np.ndarray:
+        """A copy of the named array's current contents."""
+        spec = self.array(name)
+        return self._words[spec.base : spec.base + spec.length].copy()
+
+    def load(self, addr: int) -> int:
+        if not 0 <= addr < self.size:
+            raise SimulationError(f"load address {addr} out of range [0,{self.size})")
+        self.load_count += 1
+        return int(self._words[addr])
+
+    def store(self, addr: int, value: int) -> None:
+        if not 0 <= addr < self.size:
+            raise SimulationError(f"store address {addr} out of range [0,{self.size})")
+        self.store_count += 1
+        self._words[addr] = int(value)
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Contents of every named array, for end-to-end comparisons."""
+        return {name: self.read_array(name) for name in self._arrays}

@@ -1,0 +1,58 @@
+"""Processing element behavioural model.
+
+One PE of Fig. 1: an ALU fed by neighbour outputs/immediates, writing every
+result into its rotating register file (whose most recent entry doubles as
+the output register neighbours read).  The cycle-accurate simulator keeps
+one :class:`ProcessingElement` per active grid position; memory operations
+are executed by the memory system, with the PE committing the moved value.
+"""
+
+from __future__ import annotations
+
+from repro.arch.interconnect import Coord
+from repro.arch.isa import Opcode, evaluate
+from repro.arch.register_file import RotatingRegisterFile
+from repro.util.errors import SimulationError
+
+__all__ = ["ProcessingElement"]
+
+
+class ProcessingElement:
+    """ALU + rotating register file at one grid position."""
+
+    def __init__(self, coord: Coord, rf_depth: int) -> None:
+        self.coord = coord
+        self.rf = RotatingRegisterFile(rf_depth)
+        self.firings = 0
+
+    def execute(
+        self,
+        opcode: Opcode,
+        operands: list[int],
+        immediate: int | None,
+        cycle: int,
+    ) -> int:
+        """Perform a non-memory operation and commit its result."""
+        value = evaluate(opcode, operands, immediate)
+        self.commit(cycle, value)
+        return value
+
+    def commit(self, cycle: int, value: int) -> None:
+        """Record a produced value (ALU result or memory-moved datum)."""
+        self.rf.push(cycle, value)
+        self.firings += 1
+
+    def read_output(self, produced_cycle: int) -> int:
+        """Read the value this PE produced at *produced_cycle* — depth 1 is
+        the output register, deeper entries are rotating-file reads."""
+        return self.rf.read_produced_at(produced_cycle)
+
+    def depth_of(self, produced_cycle: int) -> int:
+        """How deep into the rotating file a read of *produced_cycle*
+        reaches (1 = the newest entry)."""
+        depth = self.rf.depth_of(produced_cycle)
+        if depth == 0:
+            raise SimulationError(
+                f"PE {self.coord}: no value from cycle {produced_cycle} in file"
+            )
+        return depth

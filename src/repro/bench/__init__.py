@@ -1,0 +1,36 @@
+"""Experiment harness.
+
+One driver per paper artifact (see DESIGN.md's per-experiment index):
+
+* :mod:`repro.bench.profiles` — compiles every kernel for a CGRA/page
+  configuration (baseline and paged) with an on-disk cache, producing the
+  :class:`~repro.sim.system.KernelProfile` inputs the system model needs;
+* :mod:`repro.bench.fig8` — Fig. 8: II loss caused by the compile-time
+  paging constraints, per kernel / CGRA size / page size;
+* :mod:`repro.bench.fig9` — Fig. 9: system throughput improvement from
+  multithreading, per CGRA size / page size / CGRA-need / thread count;
+* :mod:`repro.bench.experiments` — registry + ``python -m repro.bench``.
+"""
+
+from repro.bench.profiles import ProfileStore, build_profiles
+from repro.bench.fig8 import Fig8Row, run_fig8
+from repro.bench.fig9 import Fig9Cell, run_fig9
+from repro.bench.reporting import (
+    fig8_to_records,
+    fig9_to_records,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "ProfileStore",
+    "build_profiles",
+    "Fig8Row",
+    "run_fig8",
+    "Fig9Cell",
+    "run_fig9",
+    "fig8_to_records",
+    "fig9_to_records",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — regenerate the paper's figures."""
+
+import sys
+
+from repro.bench.experiments import main
+
+sys.exit(main())

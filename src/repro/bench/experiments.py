@@ -1,0 +1,116 @@
+"""Experiment registry and command-line entry point.
+
+Every paper artifact has a named experiment that regenerates it::
+
+    python -m repro.bench list
+    python -m repro.bench fig8_4x4
+    python -m repro.bench fig9_8x8 --page-size 4
+    python -m repro.bench headline
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench.fig8 import page_sizes_for, render_fig8, run_fig8
+from repro.bench.fig9 import best_improvement, render_fig9, run_fig9
+from repro.bench.profiles import ProfileStore
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _fig8(size: int):
+    def run(store: ProfileStore, args) -> str:
+        rows = run_fig8(size, store=store, seed=args.seed)
+        if getattr(args, "json", None):
+            from repro.bench.reporting import fig8_to_records, write_json
+
+            write_json(fig8_to_records(size, rows), args.json)
+        return render_fig8(size, rows)
+
+    return run
+
+
+def _fig9(size: int):
+    def run(store: ProfileStore, args) -> str:
+        ps = args.page_size or 4
+        cells = run_fig9(
+            size, ps, store=store, seed=args.seed, repeats=args.repeats
+        )
+        if getattr(args, "json", None):
+            from repro.bench.reporting import fig9_to_records, write_json
+
+            write_json(fig9_to_records(size, ps, cells), args.json)
+        out = render_fig9(size, ps, cells)
+        return out + f"\nbest improvement: {best_improvement(cells) * 100:+.1f}%"
+
+    return run
+
+
+def _headline(store: ProfileStore, args) -> str:
+    lines = ["headline (abstract): best improvement per CGRA size"]
+    claims = {4: 30, 6: 75, 8: 150}
+    for size in (4, 6, 8):
+        best = max(
+            best_improvement(
+                run_fig9(size, ps, store=store, seed=args.seed, repeats=args.repeats)
+            )
+            for ps in page_sizes_for(size)
+        )
+        lines.append(
+            f"  {size}x{size}: {best * 100:+7.1f}%   (paper claims > {claims[size]}%)"
+        )
+    return "\n".join(lines)
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "fig8_4x4": _fig8(4),
+    "fig8_6x6": _fig8(6),
+    "fig8_8x8": _fig8(8),
+    "fig9_4x4": _fig9(4),
+    "fig9_6x6": _fig9(6),
+    "fig9_8x8": _fig9(8),
+    "headline": _headline,
+}
+
+
+def run_experiment(name: str, store: ProfileStore | None = None, argv=()) -> str:
+    """Run one named experiment and return its report text."""
+    args = _parser().parse_args([name, *argv])
+    return EXPERIMENTS[name](store or ProfileStore(), args)
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    p.add_argument("experiment", choices=[*EXPERIMENTS, "all", "list"])
+    p.add_argument("--page-size", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument(
+        "--json", default=None, help="also write the series as JSON records"
+    )
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.experiment == "list":
+        print("\n".join(EXPERIMENTS))
+        return 0
+    store = ProfileStore()
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+        print(EXPERIMENTS[name](store, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

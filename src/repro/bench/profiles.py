@@ -1,0 +1,147 @@
+"""Kernel compilation profiles with an on-disk cache.
+
+The figure drivers need, for every (kernel, CGRA size, page shape), the
+baseline II, the paging-constrained II, and whether the constrained mapping
+uses the ring-wrap link.  Mapping is deterministic for a given seed, so
+results are memoised in a JSON cache (default ``.bench_cache.json`` at the
+repository root) keyed by a schema version — bump ``CACHE_VERSION`` when
+mapper behaviour changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.arch.cgra import CGRA
+from repro.compiler.ems import MapperConfig, map_dfg
+from repro.compiler.paged import map_dfg_paged
+from repro.core.paging import PageLayout, choose_page_shape
+from repro.kernels import get_kernel, kernel_names
+from repro.sim.system import KernelProfile
+from repro.util.errors import MappingError
+
+__all__ = ["ProfileStore", "build_profiles", "make_layout", "CACHE_VERSION"]
+
+CACHE_VERSION = 5
+
+
+def make_layout(cgra: CGRA, page_size: int, prefer: str = "square") -> PageLayout:
+    """Standard page layout for the experiments: the most square tile of
+    *page_size* PEs that fits (Fig. 4 uses 2x2 for size 4)."""
+    return PageLayout(cgra, choose_page_shape(page_size, cgra.rows, cgra.cols, prefer))
+
+
+@dataclass
+class ProfileStore:
+    """JSON-backed memo of compilation results."""
+
+    path: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.path is None:
+            root = os.environ.get("REPRO_CACHE_DIR", ".")
+            self.path = Path(root) / ".bench_cache.json"
+        self._data: dict = {}
+        if self.path.exists():
+            try:
+                raw = json.loads(self.path.read_text())
+                if raw.get("version") == CACHE_VERSION:
+                    self._data = raw.get("entries", {})
+            except (json.JSONDecodeError, OSError):
+                self._data = {}
+
+    def _key(self, kernel: str, size: int, page_size: int, prefer: str, seed: int) -> str:
+        return f"{kernel}/{size}x{size}/p{page_size}-{prefer}/s{seed}"
+
+    def get(self, *key_parts):
+        return self._data.get(self._key(*key_parts))
+
+    def put(self, value, *key_parts) -> None:
+        self._data[self._key(*key_parts)] = value
+        try:
+            self.path.write_text(
+                json.dumps({"version": CACHE_VERSION, "entries": self._data}, indent=0)
+            )
+        except OSError:
+            pass  # cache is best-effort
+
+
+def _mapper_config(seed: int) -> MapperConfig:
+    return MapperConfig(seed=seed, attempts_per_ii=4)
+
+
+def compile_kernel(
+    kernel: str,
+    size: int,
+    page_size: int,
+    *,
+    prefer: str = "square",
+    seed: int = 0,
+    store: ProfileStore | None = None,
+) -> KernelProfile | None:
+    """Compile one kernel for one configuration (None if unmappable under
+    the paging constraints — the paper likewise omits configurations its
+    compiler cannot generate)."""
+    if store is not None:
+        hit = store.get(kernel, size, page_size, prefer, seed)
+        if hit is not None:
+            if hit == "UNMAPPABLE":
+                return None
+            return KernelProfile(
+                kernel,
+                hit["ii_base"],
+                hit["ii_paged"],
+                hit["pages_used"],
+                hit["wrap"],
+            )
+    cgra = CGRA(size, size, rf_depth=4 * size)
+    dfg = get_kernel(kernel).build()
+    base = map_dfg(dfg, cgra, config=_mapper_config(seed))
+    layout = make_layout(cgra, page_size, prefer)
+    try:
+        paged = map_dfg_paged(dfg, cgra, layout, config=_mapper_config(seed))
+    except MappingError:
+        if store is not None:
+            store.put("UNMAPPABLE", kernel, size, page_size, prefer, seed)
+        return None
+    profile = KernelProfile(
+        kernel, base.ii, paged.ii, paged.pages_used, paged.wrap_used
+    )
+    if store is not None:
+        store.put(
+            {
+                "ii_base": base.ii,
+                "ii_paged": paged.ii,
+                "pages_used": paged.pages_used,
+                "wrap": paged.wrap_used,
+            },
+            kernel,
+            size,
+            page_size,
+            prefer,
+            seed,
+        )
+    return profile
+
+
+def build_profiles(
+    size: int,
+    page_size: int,
+    *,
+    prefer: str = "square",
+    seed: int = 0,
+    store: ProfileStore | None = None,
+    kernels: list[str] | None = None,
+) -> dict[str, KernelProfile]:
+    """Profiles for every mappable kernel of the suite on one config."""
+    out: dict[str, KernelProfile] = {}
+    for name in kernels if kernels is not None else kernel_names():
+        prof = compile_kernel(
+            name, size, page_size, prefer=prefer, seed=seed, store=store
+        )
+        if prof is not None:
+            out[name] = prof
+    return out

@@ -1,0 +1,250 @@
+"""DRESC-style simulated-annealing mapper (second baseline).
+
+The DRESC compiler [9] maps loops onto ADRES-class CGRAs by simulated
+annealing over placements, with routability folded into the cost function.
+This module reproduces that approach at small scale, as the paper's related
+work uses it: a slow-but-thorough baseline to contrast with the fast
+EMS-style greedy mapper, and an ablation point for compile-time cost
+(bench ``ALG1``/mapper-comparison).
+
+The anneal optimises op placement under a cost with three terms: causality
+violations (an edge scheduled backwards in time), stretch violations (an
+edge whose Manhattan distance exceeds its timing gap, i.e. unroutable even
+on an empty fabric), and modulo-slot/bus conflicts.  A zero-cost placement
+is then routed in detail with the shared router; congestion failures are
+penalised and the anneal resumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.arch.cgra import CGRA
+from repro.arch.interconnect import Coord
+from repro.compiler.mapping import (
+    Mapping,
+    Placement,
+    Route,
+    materialized_edges,
+    materialized_ops,
+)
+from repro.compiler.mrt import ReservationTable
+from repro.compiler.routing import commit_route, find_route
+from repro.dfg.analysis import asap_times, rec_mii
+from repro.dfg.graph import DFG
+from repro.util.errors import MappingError
+from repro.util.rng import make_rng
+
+__all__ = ["anneal_map", "anneal_map_paged"]
+
+_W_CAUSAL = 100.0
+_W_STRETCH = 10.0
+_W_CONFLICT = 25.0
+
+
+def _energy(
+    dfg: DFG,
+    cgra: CGRA,
+    ii: int,
+    pos: dict[int, tuple[Coord, int]],
+    page_of=None,
+    ring_succ=None,
+) -> float:
+    e = 0.0
+    slots: dict[tuple[Coord, int], int] = {}
+    bus: dict[tuple[int, int], int] = {}
+    for op_id, (pe, t) in pos.items():
+        key = (pe, t % ii)
+        slots[key] = slots.get(key, 0) + 1
+        if dfg.ops[op_id].is_memory:
+            bkey = (pe.row, t % ii)
+            bus[bkey] = bus.get(bkey, 0) + 1
+    e += _W_CONFLICT * sum(c - 1 for c in slots.values() if c > 1)
+    e += _W_CONFLICT * sum(
+        c - cgra.mem_ports_per_row
+        for c in bus.values()
+        if c > cgra.mem_ports_per_row
+    )
+    for edge in materialized_edges(dfg):
+        pe_u, t_u = pos[edge.src]
+        pe_v, t_v = pos[edge.dst]
+        gap = t_v - (t_u - edge.distance * ii)
+        if gap < 1:
+            e += _W_CAUSAL * (1 - gap)
+            continue
+        dist = pe_u.manhattan(pe_v)
+        if dist > gap:
+            e += _W_STRETCH * (dist - gap)
+        if page_of is not None:
+            # ring feasibility proxy: the consumer's page must be reachable
+            # by moving forward 0..gap ring hops from the producer's page
+            p_u, p_v = page_of[pe_u], page_of[pe_v]
+            steps = 0
+            page = p_u
+            while page != p_v and steps <= gap:
+                page = ring_succ(page)
+                steps += 1
+            if page != p_v or steps > gap:
+                e += _W_STRETCH * 2
+    return e
+
+
+def _detailed_route(
+    dfg: DFG,
+    cgra: CGRA,
+    ii: int,
+    pos: dict[int, tuple[Coord, int]],
+    hop_allowed=None,
+    bus_key=None,
+) -> Mapping | None:
+    """Try to realise a zero-cost placement with concrete routes."""
+    mrt = ReservationTable(cgra, ii, bus_key)
+    placements: dict[int, Placement] = {}
+    try:
+        for op_id, (pe, t) in pos.items():
+            mrt.claim(pe, t, f"op{op_id}", memory=dfg.ops[op_id].is_memory)
+            placements[op_id] = Placement(op_id, pe, t)
+    except MappingError:
+        return None
+    routes: dict[int, Route] = {}
+    # route tight edges first: they have the least slack for detours
+    edges = sorted(
+        materialized_edges(dfg),
+        key=lambda e: (pos[e.dst][1] - (pos[e.src][1] - e.distance * ii)),
+    )
+    for e in edges:
+        pe_u, t_u = pos[e.src]
+        pe_v, t_v = pos[e.dst]
+        steps = find_route(
+            cgra, mrt, pe_u, t_u - e.distance * ii, pe_v, t_v,
+            hop_allowed=hop_allowed,
+        )
+        if steps is None:
+            return None
+        commit_route(mrt, e.id, steps)
+        routes[e.id] = Route(e.id, steps)
+    return Mapping(cgra, dfg, ii, placements, routes)
+
+
+def anneal_map(
+    dfg: DFG,
+    cgra: CGRA,
+    *,
+    seed: int = 0,
+    max_ii: int = 64,
+    iterations: int = 4000,
+    restarts: int = 3,
+    allowed_pes: Sequence[Coord] | None = None,
+    hop_allowed=None,
+    page_of=None,
+    ring_succ=None,
+    bus_key=None,
+) -> Mapping:
+    """Map *dfg* onto *cgra* by simulated annealing over placements.
+
+    Deterministic for a given seed.  Raises :class:`MappingError` if no
+    mapping is found up to ``max_ii``.  ``hop_allowed`` restricts routing
+    hops, which is how the paging constraints plug in — the paper's §IX
+    notes the transformation framework "is independent of the underlying
+    mapping algorithm", and :func:`anneal_map_paged` demonstrates exactly
+    that with this second mapper.
+    """
+    mat = materialized_ops(dfg)
+    if not mat:
+        raise MappingError("cannot map a DFG with no materialized ops")
+    pes = list(allowed_pes) if allowed_pes is not None else list(cgra.coords())
+    rng = make_rng(seed)
+    start_ii = max(
+        math.ceil(len(mat) / len(pes)),
+        math.ceil(dfg.num_memory_ops / (cgra.rows * cgra.mem_ports_per_row)),
+        rec_mii(dfg),
+    )
+    asap = asap_times(dfg)
+    depth = max(asap.values(), default=0)
+
+    for ii in range(start_ii, max_ii + 1):
+        horizon = depth + 3 * ii + 1
+        for _ in range(restarts):
+            pos = {
+                v: (pes[int(rng.integers(len(pes)))], int(rng.integers(horizon)))
+                for v in mat
+            }
+            energy = _energy(dfg, cgra, ii, pos, page_of, ring_succ)
+            temp = 10.0 + energy / 4.0
+            for it in range(iterations):
+                if energy == 0.0 and it % 50 == 0:
+                    mapping = _detailed_route(
+                        dfg, cgra, ii, pos, hop_allowed, bus_key
+                    )
+                    if mapping is not None:
+                        return mapping
+                    energy += _W_CONFLICT  # congestion: keep searching
+                op = mat[int(rng.integers(len(mat)))]
+                old = pos[op]
+                pos[op] = (
+                    pes[int(rng.integers(len(pes)))],
+                    int(rng.integers(horizon)),
+                )
+                new_energy = _energy(dfg, cgra, ii, pos, page_of, ring_succ)
+                delta = new_energy - energy
+                if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-9)):
+                    energy = new_energy
+                else:
+                    pos[op] = old
+                temp *= 0.999
+            if energy == 0.0:
+                mapping = _detailed_route(
+                    dfg, cgra, ii, pos, hop_allowed, bus_key
+                )
+                if mapping is not None:
+                    return mapping
+    raise MappingError(
+        f"annealing failed to map {dfg.name!r} within II <= {max_ii}"
+    )
+
+
+def anneal_map_paged(
+    dfg: DFG,
+    cgra: CGRA,
+    layout,
+    *,
+    seed: int = 0,
+    max_ii: int = 64,
+    iterations: int = 4000,
+    restarts: int = 3,
+) -> Mapping:
+    """Annealing mapper under the paper's §VI-B paging constraints.
+
+    Demonstrates the §IX claim that the multithreading framework is
+    mapper-agnostic: the same ring-topology hop filter that constrains the
+    EMS-style mapper constrains DRESC-style annealing, and the resulting
+    mappings feed the identical PageMaster transformation.  (Use
+    :func:`repro.compiler.paged.map_dfg_paged` for production compilation;
+    this variant exists for the mapper-independence ablation.)
+    """
+    from repro.compiler.check import validate_mapping
+    from repro.compiler.constraints import paged_bus_key, ring_hop_filter
+
+    hop = ring_hop_filter(layout)
+    allowed = [pe for pe in cgra.coords() if pe in layout.page_of]
+    mapping = anneal_map(
+        dfg,
+        cgra,
+        seed=seed,
+        max_ii=max_ii,
+        iterations=iterations,
+        restarts=restarts,
+        allowed_pes=allowed,
+        hop_allowed=hop,
+        page_of=layout.page_of,
+        ring_succ=layout.ring_succ,
+        bus_key=paged_bus_key(layout),
+    )
+    validate_mapping(
+        mapping,
+        allowed_pes=allowed,
+        hop_allowed=hop,
+        bus_key=paged_bus_key(layout),
+    )
+    return mapping

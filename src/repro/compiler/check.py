@@ -1,0 +1,137 @@
+"""Mapping validation.
+
+Independently re-checks everything the mapper is supposed to guarantee, so
+tests can treat the mapper as untrusted:
+
+* every op placed exactly once, on an allowed PE;
+* modulo-slot exclusivity across ops and route steps;
+* row data-bus capacity respected by memory ops;
+* every edge's value physically reaches its consumer: timing gap >= 1,
+  route steps contiguous in time, each hop 1-cycle reachable, and the final
+  holder adjacent-or-same to the consumer;
+* (optionally, for paged mappings) every hop obeys the §VI-B ring-topology
+  constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.arch.interconnect import Coord
+from repro.compiler.mapping import Mapping, materialized_edges, materialized_ops
+from repro.util.errors import ConstraintViolation, MappingError
+
+__all__ = ["validate_mapping"]
+
+
+def validate_mapping(
+    mapping: Mapping,
+    *,
+    allowed_pes: Sequence[Coord] | None = None,
+    hop_allowed: Callable[[Coord, Coord], bool] | None = None,
+    bus_key: Callable[[Coord], object] | None = None,
+) -> None:
+    """Raise :class:`MappingError` / :class:`ConstraintViolation` on any
+    inconsistency in *mapping*.
+
+    ``bus_key`` selects the data-bus segmentation to check memory ops
+    against (per grid row by default; the paged compiler passes its banked
+    per-page segmentation).
+    """
+    cgra, dfg, ii = mapping.cgra, mapping.dfg, mapping.ii
+    allowed = set(allowed_pes) if allowed_pes is not None else None
+    if bus_key is None:
+        bus_key = lambda pe: pe.row  # noqa: E731
+
+    # placement completeness and slot exclusivity (CONST ops are folded
+    # into consumer operands and never occupy fabric slots)
+    expected = set(materialized_ops(dfg))
+    if set(mapping.placements) != expected:
+        missing = expected - set(mapping.placements)
+        extra = set(mapping.placements) - expected
+        raise MappingError(f"placement mismatch: missing={missing} extra={extra}")
+    occ: dict[tuple[Coord, int], str] = {}
+
+    def claim(pe: Coord, time: int, label: str) -> None:
+        if not cgra.interconnect.contains(pe):
+            raise MappingError(f"{label} on PE {pe} outside the grid")
+        if allowed is not None and pe not in allowed:
+            raise ConstraintViolation(f"{label} on disallowed PE {pe}")
+        key = (pe, time % ii)
+        if key in occ:
+            raise MappingError(
+                f"slot conflict at {pe} mod {time % ii}: {occ[key]} vs {label}"
+            )
+        occ[key] = label
+
+    bus: dict[tuple, int] = {}
+    for p in mapping.placements.values():
+        claim(p.pe, p.time, f"op{p.op_id}")
+        if dfg.ops[p.op_id].is_memory:
+            key = (bus_key(p.pe), p.time % ii)
+            bus[key] = bus.get(key, 0) + 1
+            if bus[key] > cgra.mem_ports_per_row:
+                raise MappingError(
+                    f"bus segment {bus_key(p.pe)} over capacity at modulo "
+                    f"slot {p.time % ii}"
+                )
+    for r in mapping.routes.values():
+        for s in r.steps:
+            claim(s.pe, s.time, f"route{r.edge_id}@{s.time}")
+
+    # dataflow reachability per edge (constant operands need no routing).
+    # Fanout-shared routes may *tap* a sibling route step (same producer,
+    # same loop distance) instead of starting at the producer.
+    for e in materialized_edges(dfg):
+        src = mapping.placement(e.src)
+        dst = mapping.placement(e.dst)
+        t_src_eff = src.time - e.distance * ii
+        gap = dst.time - t_src_eff
+        if gap < 1:
+            raise MappingError(
+                f"edge {e.id} ({e.src}->{e.dst}, d={e.distance}): "
+                f"non-causal gap {gap}"
+            )
+        route = mapping.route(e.id)
+        if route.tap is not None:
+            siblings = {
+                (s.pe, s.time)
+                for e2 in dfg.out_edges(e.src)
+                if e2.id != e.id and e2.distance == e.distance
+                for s in mapping.route(e2.id).steps
+            }
+            if (route.tap.pe, route.tap.time) not in siblings:
+                raise MappingError(
+                    f"edge {e.id}: tap {route.tap} is not a sibling route step"
+                )
+        holder, holder_time = mapping.route_origin(e)
+        if len(route.steps) != dst.time - holder_time - 1:
+            raise MappingError(
+                f"edge {e.id}: origin at t={holder_time} needs "
+                f"{dst.time - holder_time - 1} route steps, has "
+                f"{len(route.steps)}"
+            )
+        for s in route.steps:
+            if s.time != holder_time + 1:
+                raise MappingError(
+                    f"edge {e.id}: route step at time {s.time}, expected "
+                    f"{holder_time + 1}"
+                )
+            _check_hop(mapping, holder, s.pe, f"edge {e.id} route", hop_allowed)
+            holder, holder_time = s.pe, s.time
+        _check_hop(mapping, holder, dst.pe, f"edge {e.id} final read", hop_allowed)
+
+
+def _check_hop(
+    mapping: Mapping,
+    src: Coord,
+    dst: Coord,
+    what: str,
+    hop_allowed: Callable[[Coord, Coord], bool] | None,
+) -> None:
+    if not mapping.cgra.adjacent_or_same(dst, src):
+        raise MappingError(f"{what}: {src} -> {dst} is not a 1-hop link")
+    if hop_allowed is not None and not hop_allowed(src, dst):
+        raise ConstraintViolation(
+            f"{what}: hop {src} -> {dst} violates the ring-topology constraint"
+        )

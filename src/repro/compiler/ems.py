@@ -1,0 +1,551 @@
+"""Modulo-scheduling place-and-route mapper (EMS-style baseline).
+
+This is the reproduction of the paper's baseline compiler: a modulo
+scheduler in the family of edge-centric modulo scheduling (EMS, Park et
+al. [25]), which the paper's experiments build on.  The algorithm:
+
+1. compute ``MII = max(ResMII, RecMII)``;
+2. for each candidate II (MII, MII+1, ...), try to place operations one at
+   a time in slack order (ALAP-first); each op is placed at the first
+   (time, PE) candidate from which *every* edge to an already-placed
+   producer or consumer can be routed on the time-extended mesh
+   (:mod:`repro.compiler.routing`), claiming routing PEs as it goes;
+3. a few restarts with perturbed op order absorb unlucky greedy choices
+   before giving up and bumping the II.
+
+The paged compiler (:mod:`repro.compiler.paged`) reuses this engine with a
+hop filter and a restricted PE set, which is how the paper describes its
+approach: "add some additional constraints to the compiler when it is
+generating the original schedule" (§I).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.arch.cgra import CGRA
+from repro.arch.interconnect import Coord
+from repro.arch.isa import Opcode
+from repro.compiler.mapping import (
+    Mapping,
+    Placement,
+    Route,
+    RouteStep,
+    materialized_ops,
+)
+from repro.compiler.mrt import ReservationTable
+from repro.compiler.routing import (
+    commit_route,
+    find_route,
+    find_route_shared,
+    release_route,
+)
+from repro.dfg.analysis import alap_times, asap_times, rec_mii
+from repro.dfg.graph import DFG
+from repro.util.errors import MappingError
+from repro.util.rng import make_rng
+
+__all__ = ["MapperConfig", "EMSMapper", "map_dfg"]
+
+HopFilter = Callable[[Coord, Coord], bool]
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """Tuning knobs of the mapper."""
+
+    max_ii: int = 64
+    attempts_per_ii: int = 6
+    horizon_factor: int = 4  # schedule horizon = critical path + factor * II
+    seed: int = 0
+    route_budget: int = 3000  # DFS expansion cap for long routes
+    candidate_cap: int = 10  # feasible candidates scored per op
+    eval_budget: int = 200  # total (time, PE) candidates probed per op
+    root_margin: int = 2  # extra slack before anchor-less non-source ops
+
+
+@dataclass
+class _Attempt:
+    """Mutable state of one placement attempt."""
+
+    mrt: ReservationTable
+    placements: dict[int, Placement] = field(default_factory=dict)
+    routes: dict[int, Route] = field(default_factory=dict)
+
+
+class EMSMapper:
+    """Place-and-route modulo scheduler for one CGRA (optionally paged)."""
+
+    def __init__(
+        self,
+        cgra: CGRA,
+        *,
+        allowed_pes: Sequence[Coord] | None = None,
+        hop_allowed: HopFilter | None = None,
+        mem_slots_per_cycle: int | None = None,
+        bus_key=None,
+        pe_rank: Callable[[Coord], int] | None = None,
+        config: MapperConfig | None = None,
+    ) -> None:
+        self.cgra = cgra
+        self.config = config or MapperConfig()
+        self.allowed_pes: tuple[Coord, ...] = tuple(
+            allowed_pes if allowed_pes is not None else cgra.coords()
+        )
+        if not self.allowed_pes:
+            raise MappingError("no PEs available to the mapper")
+        self.hop_allowed = hop_allowed
+        self.bus_key = bus_key
+        # Rank of each PE along the dataflow direction of the fabric (the
+        # page ring index for paged layouts).  Anchor-less sources prefer
+        # low ranks and anchor-less sinks high ranks, so chains flow
+        # forward and never start in the last page of the chain, which the
+        # ring constraint makes a dataflow sink.
+        self.pe_rank = pe_rank
+        self._rank_targets: dict[int, int] = {}
+        self.mem_slots = (
+            mem_slots_per_cycle
+            if mem_slots_per_cycle is not None
+            else cgra.rows * cgra.mem_ports_per_row
+        )
+
+    # -- public API ---------------------------------------------------------------
+
+    def map(self, dfg: DFG, *, min_ii: int | None = None) -> Mapping:
+        """Map *dfg*, returning the best (lowest-II) mapping found.
+
+        Raises :class:`MappingError` when no mapping exists up to
+        ``config.max_ii``.
+        """
+        n_mat = len(materialized_ops(dfg))
+        if n_mat == 0:
+            raise MappingError("cannot map a DFG with no materialized ops")
+        if n_mat > len(self.allowed_pes) * self.config.max_ii:
+            raise MappingError(
+                f"{n_mat} ops can never fit {len(self.allowed_pes)} PEs "
+                f"within max II {self.config.max_ii}"
+            )
+        start_ii = max(
+            math.ceil(n_mat / len(self.allowed_pes)),
+            math.ceil(dfg.num_memory_ops / self.mem_slots),
+            rec_mii(dfg),
+        )
+        if min_ii is not None:
+            start_ii = max(start_ii, min_ii)
+        rng = make_rng(self.config.seed)
+        # Three base strategies, then perturbations.  Reverse dataflow
+        # order places consumers before producers, so when an op is placed
+        # every outgoing edge routes immediately — a value can never get
+        # trapped by later placements stealing its escape slots.  Forward
+        # dataflow and slack orders behave better on recurrence-heavy
+        # graphs, so all three are tried before bumping the II.
+        orders = [
+            self._reverse_dataflow_order(dfg),
+            self._dataflow_order(dfg),
+            self._priority_order(dfg),
+        ]
+        for ii in range(start_ii, self.config.max_ii + 1):
+            for attempt in range(self.config.attempts_per_ii):
+                if attempt < len(orders):
+                    order = list(orders[attempt])
+                else:
+                    order = list(orders[0])
+                    self._perturb(order, rng)
+                result = self._try_map(dfg, ii, order)
+                if result is not None:
+                    return result
+        raise MappingError(
+            f"could not map {dfg.name!r} ({dfg.num_ops} ops) on "
+            f"{len(self.allowed_pes)} PEs within II <= {self.config.max_ii}"
+        )
+
+    # -- op ordering ---------------------------------------------------------------
+
+    def _priority_order(self, dfg: DFG) -> list[int]:
+        """Slack order: ops on the critical path (zero slack) first; among
+        equals, deeper (later-ASAP) ops later so producers tend to precede
+        consumers."""
+        asap = asap_times(dfg)
+        alap = alap_times(dfg)
+        return sorted(
+            materialized_ops(dfg),
+            key=lambda v: (alap[v] - asap[v], asap[v], v),
+        )
+
+    def _dataflow_order(self, dfg: DFG) -> list[int]:
+        """Topological (ASAP) order with low-slack ops first within a
+        level: each op is placed while its producers' neighbourhoods still
+        have routing headroom."""
+        asap = asap_times(dfg)
+        alap = alap_times(dfg)
+        return sorted(
+            materialized_ops(dfg),
+            key=lambda v: (asap[v], alap[v] - asap[v], v),
+        )
+
+    def _reverse_dataflow_order(self, dfg: DFG) -> list[int]:
+        """Deepest ops (stores) first; producers placed after all their
+        consumers, so every edge is routed the moment its producer lands."""
+        alap = alap_times(dfg)
+        asap = asap_times(dfg)
+        return sorted(
+            materialized_ops(dfg),
+            key=lambda v: (-alap[v], alap[v] - asap[v], v),
+        )
+
+    @staticmethod
+    def _perturb(order: list[int], rng) -> None:
+        """Swap a few random pairs — cheap order diversification between
+        restart attempts."""
+        n = len(order)
+        for _ in range(max(1, n // 4)):
+            i, j = int(rng.integers(n)), int(rng.integers(n))
+            order[i], order[j] = order[j], order[i]
+
+    # -- one attempt -----------------------------------------------------------------
+
+    def _try_map(self, dfg: DFG, ii: int, order: list[int]) -> Mapping | None:
+        asap = asap_times(dfg)
+        horizon = max(asap.values(), default=0) + self.config.horizon_factor * ii
+        st = _Attempt(ReservationTable(self.cgra, ii, self.bus_key))
+        self._rank_targets = self._spread_targets(dfg, order)
+        for op_id in order:
+            if not self._place_op(dfg, ii, st, op_id, asap, horizon):
+                return None
+        return Mapping(self.cgra, dfg, ii, st.placements, st.routes)
+
+    def _spread_targets(self, dfg: DFG, order: list[int]) -> dict[int, int]:
+        """Target fabric rank per op when a ``pe_rank`` is set.
+
+        On a ring/chain-constrained fabric dataflow can only move forward
+        through the page chain, so an op with *h* levels of computation
+        still below it should sit roughly *h* ranks before the end of the
+        chain: ``target = top - height``.  Ops that feed the same consumer
+        share a height and thus a target, keeping affine groups together;
+        deep sources start at page 0 and never land on the terminal page
+        (which the ring makes a dataflow sink).
+        """
+        if self.pe_rank is None:
+            return {}
+        import networkx as nx
+
+        ranks = sorted({self.pe_rank(pe) for pe in self.allowed_pes})
+        top = len(ranks) - 1
+        # Height on the SCC condensation of the *full* dependence graph
+        # (loop-carried edges included): a recurrence cycle is one node, so
+        # all its ops share a target page — on a chain topology a cycle can
+        # never span pages, data cannot flow backwards.
+        g = nx.DiGraph()
+        g.add_nodes_from(dfg.ops)
+        for e in dfg.edges.values():
+            if dfg.ops[e.src].opcode is not Opcode.CONST and e.src != e.dst:
+                g.add_edge(e.src, e.dst)
+        cond = nx.condensation(g)
+        height: dict[int, int] = {}
+        for scc in reversed(list(nx.topological_sort(cond))):
+            succs = list(cond.successors(scc))
+            height[scc] = 0 if not succs else 1 + max(height[s] for s in succs)
+        # When the graph is deeper than the chain, compress heights
+        # proportionally so every page carries a share of the levels
+        # instead of everything deep squashing onto page 0.
+        max_h = max(height.values(), default=0)
+        scale = min(1.0, top / max_h) if max_h else 0.0
+        targets: dict[int, int] = {}
+        for v in order:
+            h = height[cond.graph["mapping"][v]]
+            targets[v] = ranks[max(0, top - round(h * scale))]
+        return targets
+
+    def _place_op(
+        self,
+        dfg: DFG,
+        ii: int,
+        st: _Attempt,
+        op_id: int,
+        asap: dict[int, int],
+        horizon: int,
+    ) -> bool:
+        op = dfg.ops[op_id]
+        self_edges = [e for e in dfg.in_edges(op_id) if e.src == op_id]
+        pred_edges = [
+            e
+            for e in dfg.in_edges(op_id)
+            if e.src in st.placements
+            and e.src != op_id
+            and dfg.ops[e.src].opcode is not Opcode.CONST
+        ]
+        succ_edges = [
+            e
+            for e in dfg.out_edges(op_id)
+            if e.dst in st.placements and e.dst != op_id
+        ]
+        t_lo = max(
+            [asap[op_id]]
+            + [
+                st.placements[e.src].time - e.distance * ii + 1
+                for e in pred_edges
+            ]
+        )
+        t_lo = max(t_lo, 0)
+        t_hi = horizon
+        for e in succ_edges:
+            t_hi = min(t_hi, st.placements[e.dst].time + e.distance * ii - 1)
+        if t_lo > t_hi:
+            return False
+        if not pred_edges and not succ_edges and dfg.in_edges(op_id):
+            # anchor-less non-source op: the roots of a reverse-order pass.
+            # Placing them at bare ASAP leaves zero slack for the upstream
+            # chain to route through the mesh; start them a margin later.
+            t_lo = min(t_lo + self.config.root_margin + ii // 2, t_hi)
+
+        anchor_pes = [st.placements[e.src].pe for e in pred_edges] + [
+            st.placements[e.dst].pe for e in succ_edges
+        ]
+        candidates = self._candidate_pes(anchor_pes, op_id)
+
+        # Cost-based selection: tentatively commit feasible candidates,
+        # score them, keep the best.  Each extra cycle of gap costs a route
+        # slot, so time and route length are the same currency; the escape
+        # term keeps producers' neighbourhoods breathable so later
+        # consumers can still be reached (greedy dead-end avoidance).
+        best: tuple[float, Coord, int] | None = None
+        feasible_seen = 0
+        evals = 0
+        for t in range(t_lo, t_hi + 1):
+            for pe in candidates:
+                if not st.mrt.slot_free(pe, t):
+                    continue
+                if op.is_memory and not st.mrt.bus_free(pe, t):
+                    continue
+                evals += 1
+                cost = self._trial_cost(
+                    dfg, ii, st, op_id, pe, t, pred_edges, succ_edges, self_edges
+                )
+                if cost is not None:
+                    cost += 0.25 * (t - t_lo)
+                    if best is None or cost < best[0]:
+                        best = (cost, pe, t)
+                    feasible_seen += 1
+                if feasible_seen >= self.config.candidate_cap:
+                    break
+                if evals >= self.config.eval_budget:
+                    break
+            if feasible_seen >= self.config.candidate_cap:
+                break
+            if evals >= self.config.eval_budget:
+                break
+        if best is None:
+            return False
+        _, pe, t = best
+        return self._commit_candidate(
+            dfg, ii, st, op_id, pe, t, pred_edges, succ_edges, self_edges
+        )
+
+    def _trial_cost(
+        self, dfg, ii, st, op_id, pe, t, pred_edges, succ_edges, self_edges
+    ) -> float | None:
+        """Score a candidate slot by committing it and rolling back.
+
+        Returns None when some edge cannot be routed from this slot.
+        Cost = route slots consumed + congestion of this PE's 1-hop
+        neighbourhood at the next cycle (the value's escape room).
+        """
+        if not self._commit_candidate(
+            dfg, ii, st, op_id, pe, t, pred_edges, succ_edges, self_edges
+        ):
+            return None
+        route_slots = sum(
+            len(st.routes[e.id].steps)
+            for e in (*pred_edges, *succ_edges, *self_edges)
+        )
+        # congestion terms, only in the directions with unrouted edges:
+        # escape room at t+1 when some consumer is still unplaced, arrival
+        # room at t-1 when some producer is still unplaced
+        has_open_succ = any(
+            e.dst not in st.placements for e in dfg.out_edges(op_id)
+        )
+        has_open_pred = any(
+            e.src not in st.placements for e in dfg.in_edges(op_id)
+        )
+        blocked = 0
+        for nb in self.cgra.interconnect.reachable_in_one(pe):
+            if has_open_succ and not st.mrt.slot_free(nb, t + 1):
+                if self.hop_allowed is None or self.hop_allowed(pe, nb):
+                    blocked += 1
+            if has_open_pred and t >= 1 and not st.mrt.slot_free(nb, t - 1):
+                if self.hop_allowed is None or self.hop_allowed(nb, pe):
+                    blocked += 1
+        self._rollback(dfg, st, op_id, pred_edges, succ_edges, self_edges)
+        return route_slots + 0.6 * blocked
+
+    def _rollback(self, dfg, st, op_id, pred_edges, succ_edges, self_edges) -> None:
+        p = st.placements.pop(op_id)
+        for e in (*pred_edges, *succ_edges, *self_edges):
+            release_route(st.mrt, st.routes.pop(e.id).steps)
+        st.mrt.release(p.pe, p.time, memory=dfg.ops[op_id].is_memory)
+
+    def _candidate_pes(
+        self, anchors: list[Coord], op_id: int | None = None
+    ) -> list[Coord]:
+        target = self._rank_targets.get(op_id) if op_id is not None else None
+        rank_bias = (
+            (lambda pe: abs(self.pe_rank(pe) - target))
+            if self.pe_rank is not None and target is not None
+            else (lambda pe: 0)
+        )
+        if anchors:
+            return sorted(
+                self.allowed_pes,
+                key=lambda pe: (
+                    sum(pe.manhattan(a) for a in anchors),
+                    rank_bias(pe),
+                    pe,
+                ),
+            )
+        if self.pe_rank is not None and target is not None:
+            return sorted(self.allowed_pes, key=lambda pe: (rank_bias(pe), pe))
+        return list(self.allowed_pes)
+
+    def _commit_candidate(
+        self,
+        dfg: DFG,
+        ii: int,
+        st: _Attempt,
+        op_id: int,
+        pe: Coord,
+        t: int,
+        pred_edges,
+        succ_edges,
+        self_edges=(),
+    ) -> bool:
+        """Claim the op slot and route all its placed-neighbour edges
+        (including self-recurrences); roll back entirely on any failure,
+        including when the commit would *trap* another placed op by taking
+        the last free arrival/escape slot one of its unrouted edges needs."""
+        op = dfg.ops[op_id]
+        st.mrt.claim(pe, t, f"op{op_id}", memory=op.is_memory)
+        routed: list[tuple[int, tuple[RouteStep, ...], RouteStep | None]] = []
+        local_routes: dict[int, tuple[RouteStep, ...]] = {}
+
+        def sources_for(src_op_id: int, src_pe, src_time_eff, distance):
+            """Tappable holders of the value: the producer plus every step
+            of sibling routes carrying it (fanout sharing)."""
+            out = [(src_pe, src_time_eff, None)]
+            for e2 in dfg.out_edges(src_op_id):
+                if e2.distance != distance:
+                    continue
+                steps2 = local_routes.get(e2.id)
+                if steps2 is None and e2.id in st.routes:
+                    steps2 = st.routes[e2.id].steps
+                for s2 in steps2 or ():
+                    out.append((s2.pe, s2.time, s2))
+            return out
+
+        def route_edge(e, src_pe, src_time_eff, dst_pe, dst_time) -> bool:
+            found = find_route_shared(
+                self.cgra,
+                st.mrt,
+                sources_for(e.src, src_pe, src_time_eff, e.distance),
+                dst_pe,
+                dst_time,
+                hop_allowed=self.hop_allowed,
+                max_expansions=self.config.route_budget,
+            )
+            if found is None:
+                return False
+            steps, tap = found
+            commit_route(st.mrt, e.id, steps)
+            routed.append((e.id, steps, tap))
+            local_routes[e.id] = steps
+            return True
+
+        ok = True
+        for e in self_edges:
+            if not route_edge(e, pe, t - e.distance * ii, pe, t):
+                ok = False
+                break
+        for e in pred_edges if ok else ():
+            src = st.placements[e.src]
+            if not route_edge(e, src.pe, src.time - e.distance * ii, pe, t):
+                ok = False
+                break
+        if ok:
+            for e in succ_edges:
+                dst = st.placements[e.dst]
+                if not route_edge(e, pe, t - e.distance * ii, dst.pe, dst.time):
+                    ok = False
+                    break
+        if ok:
+            st.placements[op_id] = Placement(op_id, pe, t)
+            if self._traps_pending_edge(dfg, ii, st):
+                del st.placements[op_id]
+                ok = False
+        if not ok:
+            for _, steps, _tap in routed:
+                release_route(st.mrt, steps)
+            st.mrt.release(pe, t, memory=op.is_memory)
+            return False
+        for edge_id, steps, tap in routed:
+            st.routes[edge_id] = Route(edge_id, steps, tap)
+        # edges between unplaced endpoints are routed when the second
+        # endpoint is placed; edges with zero steps still get a Route record
+        # so downstream consumers can distinguish "routed, direct" from
+        # "not yet routed".
+        return True
+
+    def _traps_pending_edge(self, dfg: DFG, ii: int, st: _Attempt) -> bool:
+        """Would the current reservations starve a placed op whose edges
+        are not all routed yet?
+
+        A placed op with an unplaced producer needs at least as many free
+        arrival slots (its 1-hop in-neighbourhood at ``t-1``) as it has
+        unrouted operands; one with an unplaced consumer needs at least one
+        free escape slot at ``t+1`` for its value to leave.  Rejecting
+        candidates that exhaust these slots is what keeps the greedy from
+        painting itself into a corner on load/const-heavy graphs.
+        """
+        for u_id, pu in st.placements.items():
+            pending_in = sum(
+                1
+                for e in dfg.in_edges(u_id)
+                if e.src not in st.placements
+                and dfg.ops[e.src].opcode is not Opcode.CONST
+            )
+            pending_out = any(
+                e.dst not in st.placements for e in dfg.out_edges(u_id)
+            )
+            if pending_in:
+                free = 0
+                for nb in self.cgra.interconnect.reachable_in_one(pu.pe):
+                    if self.hop_allowed is not None and not self.hop_allowed(
+                        nb, pu.pe
+                    ):
+                        continue
+                    if st.mrt.slot_free(nb, pu.time - 1):
+                        free += 1
+                if free < min(pending_in, 2):
+                    return True
+            if pending_out:
+                if not any(
+                    st.mrt.slot_free(nb, pu.time + 1)
+                    and (
+                        self.hop_allowed is None or self.hop_allowed(pu.pe, nb)
+                    )
+                    for nb in self.cgra.interconnect.reachable_in_one(pu.pe)
+                ):
+                    return True
+        return False
+
+
+def map_dfg(
+    dfg: DFG,
+    cgra: CGRA,
+    *,
+    config: MapperConfig | None = None,
+    min_ii: int | None = None,
+) -> Mapping:
+    """Map *dfg* onto the whole *cgra* with the baseline (unconstrained)
+    compiler.  This produces the paper's ``II_b`` reference points."""
+    return EMSMapper(cgra, config=config).map(dfg, min_ii=min_ii)

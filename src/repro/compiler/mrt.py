@@ -1,0 +1,103 @@
+"""Modulo reservation table.
+
+Tracks which (PE, modulo-slot) pairs are claimed by operations or route
+steps and how much data-bus capacity each modulo slot has consumed.  This
+is the resource model of classic modulo scheduling (Rau) adapted to a CGRA:
+the PE array is the function-unit pool and the memory buses are the shared
+resource (§III: "a shared data bus for each row of the CGRA").
+
+Bus segmentation: by default a memory op claims capacity on its *grid
+row*'s bus.  The paged compiler instead keys buses by ``(page, local
+row)`` — a banked-memory model where each page's rows have their own bus
+segment.  This is what makes schedules *foldable*: when the PageMaster
+transformation stacks page instances onto fewer tiles, each tile carries at
+most one page instance per cycle, so per-page bus budgets remain valid on
+the physical tile.  (With a monolithic per-grid-row bus, folding two pages
+that each legally used the row's bus would oversubscribe it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.arch.cgra import CGRA
+from repro.arch.interconnect import Coord
+from repro.util.errors import MappingError
+
+__all__ = ["ReservationTable"]
+
+BusKey = Callable[[Coord], Hashable]
+
+
+@dataclass
+class ReservationTable:
+    """Slot and bus bookkeeping for one mapping attempt."""
+
+    cgra: CGRA
+    ii: int
+    bus_key: BusKey | None = None
+    slots: dict[tuple[Coord, int], str] = field(default_factory=dict)
+    bus: dict[tuple[Hashable, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ii < 1:
+            raise MappingError(f"II must be >= 1, got {self.ii}")
+        if self.bus_key is None:
+            self.bus_key = lambda pe: pe.row
+
+    # -- queries ------------------------------------------------------------------
+
+    def slot_free(self, pe: Coord, time: int) -> bool:
+        return (pe, time % self.ii) not in self.slots
+
+    def occupant(self, pe: Coord, time: int) -> str | None:
+        return self.slots.get((pe, time % self.ii))
+
+    def bus_free(self, pe: Coord, time: int) -> bool:
+        """Can a memory op on *pe* use its bus segment at this modulo slot?"""
+        used = self.bus.get((self.bus_key(pe), time % self.ii), 0)
+        return used < self.cgra.mem_ports_per_row
+
+    def free_slots_at(self, time: int) -> int:
+        m = time % self.ii
+        return self.cgra.num_pes - sum(1 for (_, t) in self.slots if t == m)
+
+    # -- mutation ------------------------------------------------------------------
+
+    def claim(self, pe: Coord, time: int, label: str, *, memory: bool = False) -> None:
+        key = (pe, time % self.ii)
+        if key in self.slots:
+            raise MappingError(
+                f"slot ({pe}, mod {time % self.ii}) already claimed by "
+                f"{self.slots[key]}, cannot add {label}"
+            )
+        if memory and not self.bus_free(pe, time):
+            raise MappingError(
+                f"bus segment {self.bus_key(pe)} full at modulo slot "
+                f"{time % self.ii}"
+            )
+        self.slots[key] = label
+        if memory:
+            bkey = (self.bus_key(pe), time % self.ii)
+            self.bus[bkey] = self.bus.get(bkey, 0) + 1
+
+    def release(self, pe: Coord, time: int, *, memory: bool = False) -> None:
+        key = (pe, time % self.ii)
+        if key not in self.slots:
+            raise MappingError(f"slot ({pe}, mod {time % self.ii}) not claimed")
+        del self.slots[key]
+        if memory:
+            bkey = (self.bus_key(pe), time % self.ii)
+            if self.bus.get(bkey, 0) <= 0:
+                raise MappingError(f"bus release underflow at {bkey}")
+            self.bus[bkey] -= 1
+
+    def copy(self) -> "ReservationTable":
+        return ReservationTable(
+            self.cgra, self.ii, self.bus_key, dict(self.slots), dict(self.bus)
+        )
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.slots)

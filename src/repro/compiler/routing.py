@@ -1,0 +1,228 @@
+"""Operand routing on the time-extended CGRA.
+
+Routing finds, for a DFG edge whose producer and consumer are already
+placed, a chain of *routing PEs* (§II) that carries the value one mesh hop
+per cycle from the producer's output to some PE adjacent to the consumer at
+the cycle before the consumer fires.  A PE may also route to itself, which
+models holding the value in place for a cycle.
+
+The search runs on the time-extended graph: states are ``(PE, time)``, a
+transition advances time by one cycle and moves to a 1-hop-reachable PE
+whose modulo slot is free in the reservation table.  An optional
+``hop_allowed`` predicate restricts transitions — the paged compiler uses it
+to enforce the §VI-B ring-topology constraint (values may only stay within
+a page or cross to the ring-successor page).
+
+When a route is longer than the II, a PE could collide with the route's own
+earlier steps modulo II; the search then switches from layered BFS to a
+depth-first search that tracks the slots used along the partial path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arch.cgra import CGRA
+from repro.arch.interconnect import Coord
+from repro.compiler.mapping import RouteStep
+from repro.compiler.mrt import ReservationTable
+
+__all__ = ["find_route", "find_route_shared", "commit_route", "release_route"]
+
+HopFilter = Callable[[Coord, Coord], bool]
+
+
+def find_route_shared(
+    cgra: CGRA,
+    mrt: ReservationTable,
+    sources: list[tuple[Coord, int, "RouteStep | None"]],
+    dst_pe: Coord,
+    t_dst: int,
+    *,
+    hop_allowed: HopFilter | None = None,
+    max_expansions: int = 20000,
+) -> tuple[tuple[RouteStep, ...], "RouteStep | None"] | None:
+    """Route from the *best* of several value holders to the consumer.
+
+    ``sources`` are ``(pe, time, tap)`` triples: the producer itself
+    (``tap=None``) and any sibling route steps already re-emitting the same
+    value (fanout sharing — see :class:`~repro.compiler.mapping.Route`).
+    Holders closest in time to the consumer are tried first, so shared
+    chains are extended instead of duplicated.  Returns ``(steps, tap)``.
+    """
+    ordered = sorted(
+        (s for s in sources if t_dst - s[1] >= 1), key=lambda s: t_dst - s[1]
+    )
+    for pe, time, tap in ordered:
+        steps = find_route(
+            cgra,
+            mrt,
+            pe,
+            time,
+            dst_pe,
+            t_dst,
+            hop_allowed=hop_allowed,
+            max_expansions=max_expansions,
+        )
+        if steps is not None:
+            return steps, tap
+    return None
+
+
+def _targets(cgra: CGRA, dst_pe: Coord, hop_allowed: HopFilter | None) -> set[Coord]:
+    """PEs from which the consumer at *dst_pe* can read the value."""
+    out = set()
+    for pe in cgra.interconnect.reachable_in_one(dst_pe):
+        if hop_allowed is None or hop_allowed(pe, dst_pe):
+            out.add(pe)
+    return out
+
+
+def find_route(
+    cgra: CGRA,
+    mrt: ReservationTable,
+    src_pe: Coord,
+    t_src_eff: int,
+    dst_pe: Coord,
+    t_dst: int,
+    *,
+    hop_allowed: HopFilter | None = None,
+    max_expansions: int = 20000,
+) -> tuple[RouteStep, ...] | None:
+    """Find route steps carrying a value from *src_pe* (produced at
+    consumer-frame time *t_src_eff*) to the consumer at (*dst_pe*, *t_dst*).
+
+    Returns the tuple of steps (empty for a direct 1-cycle link), or None
+    when no route exists under the current reservations.  Steps at negative
+    times are legal during search bookkeeping only in the consumer frame;
+    modulo arithmetic maps them onto the repeating schedule.
+    """
+    gap = t_dst - t_src_eff
+    if gap < 1:
+        return None
+    goal = _targets(cgra, dst_pe, hop_allowed)
+    if gap == 1:
+        return () if src_pe in goal else None
+    hops = gap - 1  # number of route steps, at times t_src_eff+1 .. t_dst-1
+    if hops < mrt.ii:
+        return _bfs_route(cgra, mrt, src_pe, t_src_eff, goal, hops, hop_allowed)
+    return _dfs_route(
+        cgra, mrt, src_pe, t_src_eff, goal, hops, hop_allowed, max_expansions
+    )
+
+
+def _moves(
+    cgra: CGRA, pe: Coord, dst_hint: Coord | None, hop_allowed: HopFilter | None
+) -> list[Coord]:
+    opts = list(cgra.interconnect.reachable_in_one(pe))
+    if hop_allowed is not None:
+        opts = [q for q in opts if hop_allowed(pe, q)]
+    if dst_hint is not None:
+        opts.sort(key=lambda q: q.manhattan(dst_hint))
+    return opts
+
+
+def _bfs_route(
+    cgra: CGRA,
+    mrt: ReservationTable,
+    src_pe: Coord,
+    t_src_eff: int,
+    goal: set[Coord],
+    hops: int,
+    hop_allowed: HopFilter | None,
+) -> tuple[RouteStep, ...] | None:
+    """Layered BFS: all step times are distinct modulo II (hops < II), so a
+    path can never collide with itself and per-layer reachability suffices."""
+    dst_hint = next(iter(goal)) if goal else None
+    layer: dict[Coord, Coord | None] = {src_pe: None}
+    parents: list[dict[Coord, Coord]] = []
+    for j in range(1, hops + 1):
+        t = t_src_eff + j
+        nxt: dict[Coord, Coord] = {}
+        for pe in layer:
+            for q in _moves(cgra, pe, dst_hint, hop_allowed):
+                if q in nxt:
+                    continue
+                if not mrt.slot_free(q, t):
+                    continue
+                # prune states that cannot reach any goal in remaining hops
+                remaining = hops - j
+                if all(q.manhattan(g) > remaining for g in goal):
+                    continue
+                nxt[q] = pe
+        if not nxt:
+            return None
+        parents.append(nxt)
+        layer = nxt
+    finals = [pe for pe in layer if pe in goal]
+    if not finals:
+        return None
+    pe = finals[0]
+    path = [pe]
+    for j in range(hops - 1, 0, -1):
+        pe = parents[j][pe]
+        path.append(pe)
+    path.reverse()
+    return tuple(
+        RouteStep(p, t_src_eff + j + 1) for j, p in enumerate(path)
+    )
+
+
+def _dfs_route(
+    cgra: CGRA,
+    mrt: ReservationTable,
+    src_pe: Coord,
+    t_src_eff: int,
+    goal: set[Coord],
+    hops: int,
+    hop_allowed: HopFilter | None,
+    max_expansions: int,
+) -> tuple[RouteStep, ...] | None:
+    """Depth-first exact-length search tracking the modulo slots the partial
+    path itself occupies (needed when the route is longer than the II)."""
+    ii = mrt.ii
+    dst_hint = next(iter(goal)) if goal else None
+    used: set[tuple[Coord, int]] = set()
+    path: list[Coord] = []
+    budget = [max_expansions]
+
+    def rec(pe: Coord, j: int) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        if j == hops:
+            return pe in goal
+        t = t_src_eff + j + 1
+        for q in _moves(cgra, pe, dst_hint, hop_allowed):
+            key = (q, t % ii)
+            if key in used or not mrt.slot_free(q, t):
+                continue
+            remaining = hops - j - 1
+            if all(q.manhattan(g) > remaining for g in goal):
+                continue
+            used.add(key)
+            path.append(q)
+            if rec(q, j + 1):
+                return True
+            path.pop()
+            used.discard(key)
+        return False
+
+    if not rec(src_pe, 0):
+        return None
+    return tuple(RouteStep(p, t_src_eff + j + 1) for j, p in enumerate(path))
+
+
+def commit_route(
+    mrt: ReservationTable, edge_id: int, steps: tuple[RouteStep, ...]
+) -> None:
+    """Claim every step's modulo slot in the reservation table."""
+    for s in steps:
+        mrt.claim(s.pe, s.time, f"route{edge_id}@{s.time}")
+
+
+def release_route(
+    mrt: ReservationTable, steps: tuple[RouteStep, ...]
+) -> None:
+    for s in steps:
+        mrt.release(s.pe, s.time)

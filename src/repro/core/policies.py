@@ -1,0 +1,236 @@
+"""Page-allocation policies for the multithreading runtime.
+
+The paper's experimental policy (§VII-B.1) is *halving*: "when another
+thread requests access to the CGRA, the thread using the most pages is
+decreased to use half as many pages and the new thread is resized to fit
+into the freed portion"; when schedules do not use the entire CGRA the new
+thread simply takes the unused pages, and "threads are expanded as other
+threads complete".
+
+Two additional policies support the ablation benches:
+
+* :class:`FairSharePolicy` — rebalance to an equal split on every arrival
+  and departure (more transformations, better balance);
+* :class:`StaticEqualPolicy` — fixed equal partitions sized for a declared
+  maximum thread count, in the spirit of the Polymorphic Pipeline Array
+  [28] comparison: no runtime reshaping at all.
+
+Policies work on *segments*: contiguous runs of pages on the layout's
+chain (contiguity is what lets the retargeter place transformed schedules
+on mesh-adjacent tiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.util.errors import ReproError
+
+__all__ = [
+    "Allocation",
+    "AllocationPolicy",
+    "HalvingPolicy",
+    "NeedAwareHalvingPolicy",
+    "FairSharePolicy",
+    "StaticEqualPolicy",
+]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A contiguous page segment ``[start, start + length)``."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.start < 0:
+            raise ReproError(f"bad allocation {self.start}+{self.length}")
+
+    @property
+    def pages(self) -> tuple[int, ...]:
+        return tuple(range(self.start, self.start + self.length))
+
+
+class AllocationPolicy(Protocol):
+    """Decides how page segments change on thread arrival/departure.
+
+    Both hooks receive the current resident map and return the complete new
+    map (threads absent from the result are queued / unchanged semantics
+    are owned by the manager).  Returning ``None`` from :meth:`admit` means
+    the newcomer cannot be admitted now.  ``needs`` maps thread ids to
+    their page *need* (the compiled kernel's ``pages_used``); policies may
+    ignore it, or use it to avoid granting pages a thread cannot convert
+    into speed.
+    """
+
+    def admit(
+        self,
+        n_pages: int,
+        residents: dict[int, Allocation],
+        tid: int,
+        needs: dict[int, int] | None = None,
+    ) -> dict[int, Allocation] | None: ...
+
+    def release(
+        self,
+        n_pages: int,
+        residents: dict[int, Allocation],
+        tid: int,
+        needs: dict[int, int] | None = None,
+    ) -> dict[int, Allocation]: ...
+
+
+def _free_segments(n_pages: int, residents: dict[int, Allocation]) -> list[Allocation]:
+    used = sorted(residents.values(), key=lambda a: a.start)
+    free: list[Allocation] = []
+    cursor = 0
+    for a in used:
+        if a.start > cursor:
+            free.append(Allocation(cursor, a.start - cursor))
+        cursor = a.start + a.length
+    if cursor < n_pages:
+        free.append(Allocation(cursor, n_pages - cursor))
+    return free
+
+
+class HalvingPolicy:
+    """The paper's policy: take free pages if any, else halve the largest."""
+
+    def admit(self, n_pages, residents, tid, needs=None):
+        free = _free_segments(n_pages, residents)
+        if free:
+            seg = max(free, key=lambda a: a.length)
+            out = dict(residents)
+            out[tid] = seg
+            return out
+        victims = [t for t, a in residents.items() if a.length > 1]
+        if not victims:
+            return None
+        victim = max(victims, key=lambda t: (residents[t].length, -t))
+        a = residents[victim]
+        keep = a.length - a.length // 2  # victim keeps the larger half
+        out = dict(residents)
+        out[victim] = Allocation(a.start, keep)
+        out[tid] = Allocation(a.start + keep, a.length - keep)
+        return out
+
+    def release(self, n_pages, residents, tid, needs=None):
+        out = {t: a for t, a in residents.items() if t != tid}
+        freed = residents[tid]
+        if not out:
+            return out
+        # expand an adjacent resident over the freed segment (smallest
+        # adjacent first, to even allocations out over time)
+        left = [
+            t for t, a in out.items() if a.start + a.length == freed.start
+        ]
+        right = [t for t, a in out.items() if a.start == freed.start + freed.length]
+        candidates = left + right
+        if not candidates:
+            return out
+        grow = min(candidates, key=lambda t: (out[t].length, t))
+        a = out[grow]
+        if grow in left:
+            out[grow] = Allocation(a.start, a.length + freed.length)
+        else:
+            out[grow] = Allocation(freed.start, a.length + freed.length)
+        return out
+
+
+class FairSharePolicy:
+    """Equal split across residents, rebalanced on every change."""
+
+    @staticmethod
+    def _split(n_pages: int, tids: list[int]) -> dict[int, Allocation]:
+        k = len(tids)
+        base, extra = divmod(n_pages, k)
+        out: dict[int, Allocation] = {}
+        start = 0
+        for idx, t in enumerate(sorted(tids)):
+            length = base + (1 if idx < extra else 0)
+            out[t] = Allocation(start, length)
+            start += length
+        return out
+
+    def admit(self, n_pages, residents, tid, needs=None):
+        if len(residents) + 1 > n_pages:
+            return None
+        return self._split(n_pages, list(residents) + [tid])
+
+    def release(self, n_pages, residents, tid, needs=None):
+        rest = [t for t in residents if t != tid]
+        if not rest:
+            return {}
+        return self._split(n_pages, rest)
+
+
+class StaticEqualPolicy:
+    """PPA-style fixed partitioning for a declared max thread count: the
+    CGRA is split into ``max_threads`` equal slices at 'compile time' and
+    slices are never resized."""
+
+    def __init__(self, max_threads: int) -> None:
+        if max_threads < 1:
+            raise ReproError(f"max_threads must be >= 1, got {max_threads}")
+        self.max_threads = max_threads
+
+    def _slices(self, n_pages: int) -> list[Allocation]:
+        k = min(self.max_threads, n_pages)
+        base, extra = divmod(n_pages, k)
+        out = []
+        start = 0
+        for idx in range(k):
+            length = base + (1 if idx < extra else 0)
+            out.append(Allocation(start, length))
+            start += length
+        return out
+
+    def admit(self, n_pages, residents, tid, needs=None):
+        taken = {a.start for a in residents.values()}
+        for s in self._slices(n_pages):
+            if s.start not in taken:
+                out = dict(residents)
+                out[tid] = s
+                return out
+        return None
+
+    def release(self, n_pages, residents, tid, needs=None):
+        return {t: a for t, a in residents.items() if t != tid}
+
+
+class NeedAwareHalvingPolicy(HalvingPolicy):
+    """Halving, but no thread is ever granted more pages than its kernel's
+    need — the grant is trimmed and the surplus stays free for the next
+    arrival (§VII-B: a schedule that does not use the entire CGRA leaves
+    the unused portion available, with no transformation required).
+
+    Falls back to plain halving when needs are unknown.
+    """
+
+    def admit(self, n_pages, residents, tid, needs=None):
+        out = super().admit(n_pages, residents, tid, needs)
+        if out is None or not needs:
+            return out
+        trimmed: dict[int, Allocation] = {}
+        for t, a in out.items():
+            need = needs.get(t)
+            if need is not None and a.length > need:
+                trimmed[t] = Allocation(a.start, need)
+            else:
+                trimmed[t] = a
+        return trimmed
+
+    def release(self, n_pages, residents, tid, needs=None):
+        out = super().release(n_pages, residents, tid, needs)
+        if not needs:
+            return out
+        return {
+            t: (
+                Allocation(a.start, needs[t])
+                if t in needs and a.length > needs[t]
+                else a
+            )
+            for t, a in out.items()
+        }

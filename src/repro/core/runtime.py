@@ -1,0 +1,155 @@
+"""The multithreading runtime: the OS-side CGRA manager.
+
+"The OS is in charge of keeping track of currently running threads.  When
+an additional thread is launched on the CGRA, the OS will transform the
+thread for the current environment and transfer the thread into CGRA
+memory." (§VII-B)
+
+:class:`CGRAManager` owns the page pool of one paged CGRA and brokers it
+between threads: arrivals are admitted through the allocation policy
+(shrinking residents when needed, queueing when the array is saturated),
+departures trigger expansion and admit queued threads.  Every allocation
+change is recorded as a :class:`Reallocation` event so callers can charge
+transformation/transfer overheads and drive the PageMaster transformation
+for the affected threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policies import Allocation, AllocationPolicy, HalvingPolicy
+from repro.util.errors import ReproError
+
+__all__ = ["Reallocation", "ThreadHandle", "CGRAManager"]
+
+
+@dataclass(frozen=True)
+class Reallocation:
+    """One allocation change: a thread's page segment before/after."""
+
+    tid: int
+    before: Allocation | None
+    after: Allocation | None
+
+
+@dataclass
+class ThreadHandle:
+    """A thread known to the manager."""
+
+    tid: int
+    allocation: Allocation | None = None  # None -> queued
+    reallocations: int = 0
+
+    @property
+    def resident(self) -> bool:
+        return self.allocation is not None
+
+
+@dataclass
+class CGRAManager:
+    """Page pool manager for one CGRA."""
+
+    n_pages: int
+    policy: AllocationPolicy = field(default_factory=HalvingPolicy)
+
+    def __post_init__(self) -> None:
+        if self.n_pages < 1:
+            raise ReproError(f"n_pages must be >= 1, got {self.n_pages}")
+        self.threads: dict[int, ThreadHandle] = {}
+        self.queue: list[int] = []
+        self.needs: dict[int, int] = {}
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def residents(self) -> dict[int, Allocation]:
+        return {
+            t: h.allocation for t, h in self.threads.items() if h.allocation
+        }
+
+    def allocation_of(self, tid: int) -> Allocation | None:
+        h = self.threads.get(tid)
+        return h.allocation if h else None
+
+    def _check_invariants(self) -> None:
+        claimed: set[int] = set()
+        for t, a in self.residents.items():
+            pages = set(a.pages)
+            if pages & claimed:
+                raise ReproError(f"overlapping allocations at thread {t}")
+            if a.start + a.length > self.n_pages:
+                raise ReproError(f"allocation of thread {t} exceeds pool")
+            claimed |= pages
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def request(self, tid: int, need: int | None = None) -> list[Reallocation]:
+        """Thread *tid* wants the CGRA (optionally declaring its page
+        *need*).  Returns the reallocations applied (empty if queued)."""
+        if tid in self.threads:
+            raise ReproError(f"thread {tid} already known to the manager")
+        self.threads[tid] = ThreadHandle(tid)
+        if need is not None:
+            self.needs[tid] = need
+        new_map = self.policy.admit(self.n_pages, self.residents, tid, self.needs)
+        if new_map is None:
+            self.queue.append(tid)
+            return []
+        events = self._apply(new_map)
+        self._check_invariants()
+        return events
+
+    def release(self, tid: int) -> list[Reallocation]:
+        """Thread *tid* is done with the CGRA.  Expands survivors and admits
+        queued threads; returns all reallocations applied."""
+        h = self.threads.pop(tid, None)
+        if h is None:
+            raise ReproError(f"thread {tid} unknown to the manager")
+        if h.allocation is None:
+            self.queue.remove(tid)
+            return []
+        residents = self.residents
+        residents[tid] = h.allocation  # policy sees the departing thread
+        new_map = self.policy.release(self.n_pages, residents, tid, self.needs)
+        self.needs.pop(tid, None)
+        events = self._apply(new_map, departed=tid, before=h.allocation)
+        # admit as many queued threads as now fit
+        while self.queue:
+            nxt = self.queue[0]
+            new_map = self.policy.admit(
+                self.n_pages, self.residents, nxt, self.needs
+            )
+            if new_map is None:
+                break
+            self.queue.pop(0)
+            events.extend(self._apply(new_map))
+        self._check_invariants()
+        return events
+
+    # -- internals ------------------------------------------------------------------
+
+    def _apply(
+        self,
+        new_map: dict[int, Allocation],
+        departed: int | None = None,
+        before: Allocation | None = None,
+    ) -> list[Reallocation]:
+        events: list[Reallocation] = []
+        if departed is not None:
+            events.append(Reallocation(departed, before, None))
+        for tid, alloc in new_map.items():
+            if tid == departed:
+                continue
+            h = self.threads[tid]
+            if h.allocation != alloc:
+                events.append(Reallocation(tid, h.allocation, alloc))
+                h.allocation = alloc
+                h.reallocations += 1
+        for tid, h in self.threads.items():
+            if h.allocation is not None and tid not in new_map and tid != departed:
+                # policy dropped a resident: treat as eviction back to queue
+                events.append(Reallocation(tid, h.allocation, None))
+                h.allocation = None
+                self.queue.append(tid)
+        return events

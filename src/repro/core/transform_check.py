@@ -1,0 +1,88 @@
+"""Independent validation of PageMaster placements.
+
+Re-checks the §VI-C output constraints of the transformation from first
+principles, treating :class:`~repro.core.pagemaster.PageMaster` as
+untrusted:
+
+* **slot exclusivity** — no two page instances share a (column, time) slot;
+* **dependency feasibility** — for every instance ``(n, b)`` with ``b>=1``,
+  its producers ``(n-1, b-1)`` (ring) and ``(n, b-1)`` (storage) are placed
+  at strictly earlier times and within one column hop, so a value can ride
+  the mesh or wait in the producer's rotating register file;
+* **neighbour invariant** — ring-adjacent pages of the same batch sit
+  within two columns of each other (the paper's two-hop argument, which is
+  what keeps ``PlacePage`` well defined for the *next* batch);
+* **column range** and **monotone per-page times** (an instance never runs
+  before the same page's previous instance).
+"""
+
+from __future__ import annotations
+
+from repro.core.pagemaster import PagePlacement
+from repro.util.errors import ConstraintViolation
+
+__all__ = ["check_placement"]
+
+
+def check_placement(p: PagePlacement, *, require_wrap: bool | None = None) -> None:
+    """Raise :class:`ConstraintViolation` on any violated §VI-C constraint.
+
+    ``require_wrap`` controls whether the ring-wrap dependency (page N-1
+    feeding page 0) must also satisfy the column/time constraints.  The
+    default follows the placement's strategy: zigzag placements (paper
+    Algorithm 1) are built to satisfy the full ring including the wrap;
+    grouped folds are only legal for wrap-free (chain) schedules, so the
+    wrap pair is exempt.
+    """
+    if require_wrap is None:
+        require_wrap = p.strategy == "zigzag"
+    seen: dict[tuple[int, int], tuple[int, int]] = {}
+    for (n, b), (col, t) in p.slots.items():
+        if not 0 <= col < p.m:
+            raise ConstraintViolation(
+                f"instance ({n},{b}) at column {col} outside [0,{p.m})"
+            )
+        if t < 0:
+            raise ConstraintViolation(f"instance ({n},{b}) at negative time {t}")
+        if (col, t) in seen:
+            raise ConstraintViolation(
+                f"slot (col {col}, t {t}) holds both {seen[(col, t)]} and ({n},{b})"
+            )
+        seen[(col, t)] = (n, b)
+
+    batches = p.batches
+    for b in range(batches):
+        for n in range(p.n_pages):
+            if (n, b) not in p.slots:
+                raise ConstraintViolation(f"instance ({n},{b}) never placed")
+
+    for b in range(1, batches):
+        for n in range(p.n_pages):
+            col, t = p.slots[(n, b)]
+            for dep in ((n - 1) % p.n_pages, n):
+                if dep == p.n_pages - 1 and n == 0 and not require_wrap:
+                    continue  # wrap-free schedule: no such dependency
+                dcol, dt = p.slots[(dep, b - 1)]
+                if t <= dt:
+                    raise ConstraintViolation(
+                        f"({n},{b}) at t={t} not after its dependency "
+                        f"({dep},{b - 1}) at t={dt}"
+                    )
+                if abs(col - dcol) > 1:
+                    raise ConstraintViolation(
+                        f"({n},{b}) at col {col} more than one hop from "
+                        f"dependency ({dep},{b - 1}) at col {dcol}"
+                    )
+
+    if p.n_pages > 1:
+        for b in range(batches):
+            for n in range(p.n_pages):
+                if n == p.n_pages - 1 and not require_wrap:
+                    continue  # wrap pair has no common consumer
+                col, _ = p.slots[(n, b)]
+                ncol, _ = p.slots[((n + 1) % p.n_pages, b)]
+                if abs(col - ncol) > 2:
+                    raise ConstraintViolation(
+                        f"ring neighbours {n} and {(n + 1) % p.n_pages} of "
+                        f"batch {b} are {abs(col - ncol)} columns apart"
+                    )

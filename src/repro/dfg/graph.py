@@ -1,0 +1,233 @@
+"""Dataflow graph model.
+
+A :class:`DFG` is the compiler's view of one innermost loop body (Fig. 2):
+operations (:class:`Op`) connected by data-dependency edges (:class:`Edge`).
+Edges carry an *iteration distance*: distance 0 is an intra-iteration
+dependency, distance ``d > 0`` means the consumer reads the value the
+producer computed ``d`` iterations earlier (a loop-carried dependency, the
+recurrence cycles of Fig. 3).  Loop-carried edges also carry the initial
+values consumed by the first ``d`` iterations.
+
+Memory operations reference arrays symbolically through :class:`MemRef`;
+binding to concrete base addresses happens when a kernel is loaded into a
+:class:`~repro.arch.memory.DataMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import networkx as nx
+
+from repro.arch.isa import OPCODE_INFO, Opcode
+from repro.util.errors import GraphError
+
+__all__ = ["MemRef", "Op", "Edge", "DFG"]
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """Symbolic affine memory reference: element ``offset + stride * i`` of
+    ``array`` at kernel iteration ``i`` (optionally modulo ``ring``)."""
+
+    array: str
+    stride: int = 1
+    offset: int = 0
+    ring: int | None = None
+
+
+@dataclass(frozen=True)
+class Op:
+    """One micro-operation of the loop body."""
+
+    id: int
+    opcode: Opcode
+    name: str = ""
+    immediate: int | None = None
+    memref: MemRef | None = None
+
+    def __post_init__(self) -> None:
+        info = OPCODE_INFO[self.opcode]
+        if info.is_memory and self.memref is None:
+            raise GraphError(f"op {self.id} ({self.opcode.value}) needs a memref")
+        if not info.is_memory and self.memref is not None:
+            raise GraphError(f"op {self.id} ({self.opcode.value}) cannot take a memref")
+        if self.opcode is Opcode.CONST and self.immediate is None:
+            raise GraphError(f"op {self.id}: CONST needs an immediate")
+
+    @property
+    def is_memory(self) -> bool:
+        return OPCODE_INFO[self.opcode].is_memory
+
+    @property
+    def produces_value(self) -> bool:
+        return OPCODE_INFO[self.opcode].produces_value
+
+    @property
+    def label(self) -> str:
+        return self.name or f"op{self.id}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """Data dependency: operand ``operand_index`` of ``dst`` is the value of
+    ``src``, ``distance`` iterations back.  ``init`` supplies the values for
+    the first ``distance`` iterations (``init[k]`` feeds iteration ``k``)."""
+
+    id: int
+    src: int
+    dst: int
+    operand_index: int
+    distance: int = 0
+    init: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise GraphError(f"edge {self.id}: negative distance {self.distance}")
+        if len(self.init) != self.distance:
+            raise GraphError(
+                f"edge {self.id}: distance {self.distance} requires "
+                f"{self.distance} initial values, got {len(self.init)}"
+            )
+
+
+@dataclass
+class DFG:
+    """A loop-body dataflow graph."""
+
+    name: str = "kernel"
+    ops: dict[int, Op] = field(default_factory=dict)
+    edges: dict[int, Edge] = field(default_factory=dict)
+    _next_op: int = 0
+    _next_edge: int = 0
+
+    # -- construction -------------------------------------------------------------
+
+    def add_op(
+        self,
+        opcode: Opcode,
+        *,
+        name: str = "",
+        immediate: int | None = None,
+        memref: MemRef | None = None,
+    ) -> Op:
+        op = Op(self._next_op, opcode, name=name, immediate=immediate, memref=memref)
+        self.ops[op.id] = op
+        self._next_op += 1
+        return op
+
+    def add_edge(
+        self,
+        src: Op | int,
+        dst: Op | int,
+        operand_index: int,
+        *,
+        distance: int = 0,
+        init: tuple[int, ...] = (),
+    ) -> Edge:
+        s = src.id if isinstance(src, Op) else src
+        d = dst.id if isinstance(dst, Op) else dst
+        if s not in self.ops:
+            raise GraphError(f"edge source op {s} not in graph")
+        if d not in self.ops:
+            raise GraphError(f"edge destination op {d} not in graph")
+        if not self.ops[s].produces_value:
+            raise GraphError(f"op {s} ({self.ops[s].opcode.value}) produces no value")
+        arity = OPCODE_INFO[self.ops[d].opcode].arity
+        if not 0 <= operand_index < arity:
+            raise GraphError(
+                f"operand index {operand_index} out of range for "
+                f"{self.ops[d].opcode.value} (arity {arity})"
+            )
+        for e in self.edges.values():
+            if e.dst == d and e.operand_index == operand_index:
+                raise GraphError(
+                    f"operand {operand_index} of op {d} already driven by edge {e.id}"
+                )
+        edge = Edge(self._next_edge, s, d, operand_index, distance, tuple(init))
+        self.edges[edge.id] = edge
+        self._next_edge += 1
+        return edge
+
+    # -- queries --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_memory_ops(self) -> int:
+        return sum(1 for op in self.ops.values() if op.is_memory)
+
+    def in_edges(self, op: Op | int) -> list[Edge]:
+        """Incoming edges of *op*, sorted by operand index."""
+        d = op.id if isinstance(op, Op) else op
+        return sorted(
+            (e for e in self.edges.values() if e.dst == d),
+            key=lambda e: e.operand_index,
+        )
+
+    def out_edges(self, op: Op | int) -> list[Edge]:
+        s = op.id if isinstance(op, Op) else op
+        return sorted((e for e in self.edges.values() if e.src == s), key=lambda e: e.id)
+
+    def operands_bound(self, op: Op | int) -> bool:
+        """All operand slots of *op* driven by an edge?"""
+        o = self.ops[op.id if isinstance(op, Op) else op]
+        return len(self.in_edges(o)) == OPCODE_INFO[o.opcode].arity
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export as a networkx multigraph (edge attrs: distance, operand)."""
+        g = nx.MultiDiGraph(name=self.name)
+        for op in self.ops.values():
+            g.add_node(op.id, opcode=op.opcode.value, label=op.label)
+        for e in self.edges.values():
+            g.add_edge(
+                e.src, e.dst, key=e.id, distance=e.distance, operand=e.operand_index
+            )
+        return g
+
+    def copy(self, name: str | None = None) -> "DFG":
+        return DFG(
+            name=name or self.name,
+            ops=dict(self.ops),
+            edges=dict(self.edges),
+            _next_op=self._next_op,
+            _next_edge=self._next_edge,
+        )
+
+    def relabel(self, mapping: dict[int, int]) -> "DFG":
+        """Renumber ops according to *mapping* (must be a bijection over op
+        ids); edge ids are renumbered densely."""
+        if sorted(mapping) != sorted(self.ops) or sorted(set(mapping.values())) != sorted(
+            mapping.values()
+        ):
+            raise GraphError("relabel mapping must be a bijection over op ids")
+        out = DFG(name=self.name)
+        for old_id in sorted(self.ops, key=lambda i: mapping[i]):
+            op = self.ops[old_id]
+            out.ops[mapping[old_id]] = replace(op, id=mapping[old_id])
+        out._next_op = max(out.ops) + 1 if out.ops else 0
+        for e in sorted(self.edges.values(), key=lambda e: e.id):
+            out.add_edge(
+                mapping[e.src],
+                mapping[e.dst],
+                e.operand_index,
+                distance=e.distance,
+                init=e.init,
+            )
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"DFG {self.name!r}: {self.num_ops} ops "
+            f"({self.num_memory_ops} memory), {self.num_edges} edges, "
+            f"{sum(1 for e in self.edges.values() if e.distance > 0)} loop-carried"
+        )

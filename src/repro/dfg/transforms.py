@@ -1,0 +1,107 @@
+"""Structural DFG transforms.
+
+``unroll`` reproduces the paper's Fig. 3 experiment: unrolling a loop with a
+recurrence does not beat the recurrence bound — the unrolled graph's RecMII
+grows with the factor, keeping the *effective* II per original iteration
+constant.  ``eliminate_dead_ops`` removes value-producing ops whose results
+reach no store and no recurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.dfg.graph import DFG, MemRef
+from repro.util.errors import GraphError
+
+__all__ = ["unroll", "eliminate_dead_ops"]
+
+
+def unroll(dfg: DFG, factor: int) -> DFG:
+    """Unroll the loop body *factor* times.
+
+    Iteration ``i`` of the unrolled loop executes original iterations
+    ``i*factor + k`` for ``k in 0..factor-1``.  Memory strides are scaled,
+    offsets shifted per copy, and loop-carried distances redistributed:
+    copy *k*'s consumer of a distance-*d* edge reads copy ``(k-d) mod
+    factor`` at new distance ``-floor((k-d)/factor)``.
+    """
+    if factor < 1:
+        raise GraphError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return dfg.copy()
+    out = DFG(name=f"{dfg.name}_x{factor}")
+    new_id: dict[tuple[int, int], int] = {}  # (orig op, copy) -> new op id
+    for k in range(factor):
+        for op in sorted(dfg.ops.values(), key=lambda o: o.id):
+            memref = op.memref
+            if memref is not None:
+                if memref.ring is not None:
+                    raise GraphError("unrolling modular memrefs is not supported")
+                memref = MemRef(
+                    memref.array,
+                    stride=memref.stride * factor,
+                    offset=memref.offset + memref.stride * k,
+                )
+            node = out.add_op(
+                op.opcode,
+                name=f"{op.label}#{k}",
+                immediate=op.immediate,
+                memref=memref,
+            )
+            new_id[(op.id, k)] = node.id
+    for k in range(factor):
+        for e in sorted(dfg.edges.values(), key=lambda e: e.id):
+            src_copy = (k - e.distance) % factor
+            new_dist = -((k - e.distance) // factor)
+            init: tuple[int, ...] = ()
+            if new_dist > 0:
+                # unrolled iteration j, copy k corresponds to original
+                # iteration j*factor + k; its initial values are the original
+                # edge's init entries for those original iterations.
+                init = tuple(
+                    e.init[j * factor + k] if j * factor + k < len(e.init) else 0
+                    for j in range(new_dist)
+                )
+            out.add_edge(
+                new_id[(e.src, src_copy)],
+                new_id[(e.dst, k)],
+                e.operand_index,
+                distance=new_dist,
+                init=init,
+            )
+    return out
+
+
+def eliminate_dead_ops(dfg: DFG) -> DFG:
+    """Remove ops whose value can never reach a store.
+
+    Keeps every memory op, then walks def-use edges backwards (through
+    loop-carried edges too — recurrence values are live).  Returns a new,
+    densely renumbered DFG.
+    """
+    live: set[int] = {op.id for op in dfg.ops.values() if op.is_memory}
+    frontier = list(live)
+    while frontier:
+        v = frontier.pop()
+        for e in dfg.in_edges(v):
+            if e.src not in live:
+                live.add(e.src)
+                frontier.append(e.src)
+    kept = sorted(live)
+    mapping = {old: new for new, old in enumerate(kept)}
+    out = DFG(name=dfg.name)
+    for old in kept:
+        op = dfg.ops[old]
+        out.ops[mapping[old]] = replace(op, id=mapping[old])
+    out._next_op = len(kept)
+    for e in sorted(dfg.edges.values(), key=lambda e: e.id):
+        if e.src in live and e.dst in live:
+            out.add_edge(
+                mapping[e.src],
+                mapping[e.dst],
+                e.operand_index,
+                distance=e.distance,
+                init=e.init,
+            )
+    return out

@@ -1,0 +1,77 @@
+"""``fft`` — radix-2 decimation-in-time butterfly over complex fixed-point
+streams (Q7 twiddle factors).
+
+    t_re = (b_re*w_re - b_im*w_im) >> 7
+    t_im = (b_re*w_im + b_im*w_re) >> 7
+    x[i] = a + t;   y[i] = a - t          (4 outputs: re/im of each)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dfg.builder import DFGBuilder
+from repro.kernels.spec import KernelSpec
+
+__all__ = ["SPEC"]
+
+
+def build():
+    b = DFGBuilder("fft")
+    ar = b.load("a_re")
+    ai = b.load("a_im")
+    br = b.load("b_re")
+    bi = b.load("b_im")
+    wr = b.load("w_re")
+    wi = b.load("w_im")
+    tr = b.shr(
+        b.sub(b.mul(br, wr, name="brwr"), b.mul(bi, wi, name="biwi"), name="tr_raw"),
+        b.const(7),
+        name="t_re",
+    )
+    ti = b.shr(
+        b.add(b.mul(br, wi, name="brwi"), b.mul(bi, wr, name="biwr"), name="ti_raw"),
+        b.const(7),
+        name="t_im",
+    )
+    b.store("x_re", b.add(ar, tr, name="x_re"))
+    b.store("x_im", b.add(ai, ti, name="x_im"))
+    b.store("y_re", b.sub(ar, tr, name="y_re"))
+    b.store("y_im", b.sub(ai, ti, name="y_im"))
+    return b.build()
+
+
+def arrays(rng: np.random.Generator, trip: int):
+    return {
+        "a_re": rng.integers(-128, 128, trip, dtype=np.int64),
+        "a_im": rng.integers(-128, 128, trip, dtype=np.int64),
+        "b_re": rng.integers(-128, 128, trip, dtype=np.int64),
+        "b_im": rng.integers(-128, 128, trip, dtype=np.int64),
+        "w_re": rng.integers(-128, 128, trip, dtype=np.int64),
+        "w_im": rng.integers(-128, 128, trip, dtype=np.int64),
+        "x_re": np.zeros(trip, dtype=np.int64),
+        "x_im": np.zeros(trip, dtype=np.int64),
+        "y_re": np.zeros(trip, dtype=np.int64),
+        "y_im": np.zeros(trip, dtype=np.int64),
+    }
+
+
+def golden(a, trip: int):
+    br, bi = a["b_re"][:trip], a["b_im"][:trip]
+    wr, wi = a["w_re"][:trip], a["w_im"][:trip]
+    tr = (br * wr - bi * wi) >> 7
+    ti = (br * wi + bi * wr) >> 7
+    a["x_re"][:trip] = a["a_re"][:trip] + tr
+    a["x_im"][:trip] = a["a_im"][:trip] + ti
+    a["y_re"][:trip] = a["a_re"][:trip] - tr
+    a["y_im"][:trip] = a["a_im"][:trip] - ti
+    return a
+
+
+SPEC = KernelSpec(
+    name="fft",
+    description="radix-2 FFT butterfly with Q7 twiddles (10 memory ops)",
+    build=build,
+    arrays=arrays,
+    golden=golden,
+)

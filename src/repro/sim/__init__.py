@@ -1,0 +1,40 @@
+"""Simulators.
+
+* :mod:`repro.sim.reference` — architecture-independent DFG interpreter,
+  the functional golden model for every kernel.
+* :mod:`repro.sim.lowering` — turns a compiled mapping into an explicit
+  firing program (one record per op/route execution).
+* :mod:`repro.sim.retarget` — turns a paged mapping plus a PageMaster
+  placement into the firing program of the *transformed* (shrunken)
+  schedule, applying fold mirroring and resolving each transfer to a
+  rotating-register read or a global-storage round trip.
+* :mod:`repro.sim.cgra_sim` — cycle-accurate execution of firing programs
+  with register-file depth, slot-conflict, bus and memory checking.
+* :mod:`repro.sim.workload`, :mod:`repro.sim.system` — the multithreaded
+  system model of §VII-B: threads alternating CPU and CGRA phases on a
+  multithreaded host with the CGRA as shared accelerator.
+"""
+
+from repro.sim.reference import run_reference
+from repro.sim.lowering import Firing, ResolvedRead, lower_mapping
+from repro.sim.cgra_sim import SimResult, simulate
+from repro.sim.retarget import retarget_firings, required_batches
+from repro.sim.workload import ThreadSpec, Segment, generate_workload
+from repro.sim.system import SystemConfig, SystemResult, simulate_system
+
+__all__ = [
+    "run_reference",
+    "Firing",
+    "ResolvedRead",
+    "lower_mapping",
+    "SimResult",
+    "simulate",
+    "retarget_firings",
+    "required_batches",
+    "ThreadSpec",
+    "Segment",
+    "generate_workload",
+    "SystemConfig",
+    "SystemResult",
+    "simulate_system",
+]

@@ -1,0 +1,214 @@
+"""Cycle-accurate functional execution of firing programs.
+
+Executes a list of :class:`~repro.sim.lowering.Firing` records against a
+CGRA description and a data memory, enforcing the architectural contracts:
+
+* at most one firing per (PE, cycle);
+* memory firings respect the banked bus capacity per segment per cycle;
+* every operand read must hit a value still present in the producing PE's
+  rotating register file (depth = ``cgra.rf_depth``) — this is how the
+  §VI-E requirement ("N rotating registers in each PE") is checked, and
+  the maximum depth actually used is reported;
+* global-storage round trips (PageMaster fallback transfers) are tracked
+  and counted as traffic to the reserved area of the data memory;
+* a load and a store to the same address in the same cycle is rejected as
+  a hazard (the order would be undefined in hardware).
+
+The result bundles cycle counts and instrumentation for the experiment
+harness (IPC, PE utilization — the paper's §IV throughput quantities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+from repro.arch.cgra import CGRA
+from repro.arch.interconnect import Coord
+from repro.arch.isa import Opcode
+from repro.arch.memory import DataMemory
+from repro.arch.pe import ProcessingElement
+from repro.sim.lowering import Firing, GlobalSlot, ResolvedRead
+from repro.util.errors import SimulationError
+
+__all__ = ["SimResult", "simulate"]
+
+
+@dataclass
+class SimResult:
+    """Outcome and instrumentation of one simulated execution."""
+
+    cycles: int
+    firings: int
+    loads: int
+    stores: int
+    rf_reads: int = 0
+    rf_max_depth_used: int = 0
+    global_reads: int = 0
+    global_writes: int = 0
+    pe_busy: dict[Coord, int] = field(default_factory=dict)
+
+    def utilization(self, cgra: CGRA) -> float:
+        """Average PE utilization U over the run (§IV)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.firings / float(cgra.num_pes * self.cycles)
+
+    def summary(self) -> str:
+        return (
+            f"{self.cycles} cycles, {self.firings} firings "
+            f"({self.loads} loads, {self.stores} stores), "
+            f"rf depth used {self.rf_max_depth_used}, "
+            f"global traffic {self.global_writes}w/{self.global_reads}r"
+        )
+
+
+def simulate(
+    firings: Sequence[Firing],
+    cgra: CGRA,
+    memory: DataMemory,
+    *,
+    rf_depth: int | None = None,
+    bus_key: Callable[[Coord], Hashable] | None = None,
+    check_conflicts: bool = True,
+    trace=None,
+) -> SimResult:
+    """Execute *firings* (any order; sorted internally) and return stats.
+
+    ``rf_depth`` overrides the architecture's rotating-register depth;
+    ``bus_key`` selects the bus segmentation (defaults to per grid row);
+    ``trace`` (a :class:`repro.sim.trace.CycleTrace`) records every firing
+    with resolved operand values.
+    """
+    if bus_key is None:
+        bus_key = lambda pe: pe.row  # noqa: E731 - tiny local default
+    depth = rf_depth if rf_depth is not None else cgra.rf_depth
+    pes: dict[Coord, ProcessingElement] = {}
+    global_store: dict[GlobalSlot, int] = {}
+    result = SimResult(cycles=0, firings=0, loads=0, stores=0)
+
+    ordered = sorted(firings, key=lambda f: (f.cycle, f.pe))
+    idx = 0
+    n = len(ordered)
+    while idx < n:
+        cycle = ordered[idx].cycle
+        if cycle < 0:
+            raise SimulationError(f"firing {ordered[idx].label} at negative cycle")
+        batch: list[Firing] = []
+        while idx < n and ordered[idx].cycle == cycle:
+            batch.append(ordered[idx])
+            idx += 1
+
+        if check_conflicts:
+            _check_conflicts(batch, cgra, bus_key, cycle)
+
+        # 1) reads: all operand reads observe pre-cycle state
+        resolved: list[tuple[Firing, list[int]]] = []
+        stores_this_cycle: dict[int, str] = {}
+        for f in batch:
+            ops: list[int] = []
+            for src in f.operands:
+                if isinstance(src, ResolvedRead):
+                    if src.cycle >= cycle:
+                        raise SimulationError(
+                            f"{f.label} reads a value produced at cycle "
+                            f"{src.cycle} >= its own cycle {cycle}"
+                        )
+                    producer = pes.get(src.pe)
+                    if producer is None:
+                        raise SimulationError(
+                            f"{f.label} reads PE {src.pe} which never produced"
+                        )
+                    ops.append(producer.read_output(src.cycle))
+                    result.rf_reads += 1
+                    result.rf_max_depth_used = max(
+                        result.rf_max_depth_used, producer.depth_of(src.cycle)
+                    )
+                elif isinstance(src, GlobalSlot):
+                    if src not in global_store:
+                        raise SimulationError(
+                            f"{f.label} reads global slot {src} before any write"
+                        )
+                    ops.append(global_store[src])
+                    result.global_reads += 1
+                elif isinstance(src, int):
+                    ops.append(src)
+                else:
+                    raise SimulationError(
+                        f"{f.label}: unknown operand source {src!r}"
+                    )
+            resolved.append((f, ops))
+
+        # 2) execute, push results, queue memory effects.  Store addresses
+        # are collected up front so a load in the same cycle is flagged
+        # regardless of intra-cycle processing order.
+        for f in batch:
+            if f.opcode is Opcode.STORE:
+                if f.addr in stores_this_cycle:
+                    raise SimulationError(
+                        f"{f.label}: double store to address {f.addr} "
+                        f"({stores_this_cycle[f.addr]})"
+                    )
+                stores_this_cycle[f.addr] = f.label
+        pending_stores: list[tuple[int, int, str]] = []
+        for f, ops in resolved:
+            pe = pes.get(f.pe)
+            if pe is None:
+                pe = pes[f.pe] = ProcessingElement(f.pe, depth)
+            if f.opcode in (Opcode.LOAD, Opcode.LOADT):
+                if f.addr is None:
+                    raise SimulationError(f"{f.label}: load without address")
+                if f.addr in stores_this_cycle:
+                    raise SimulationError(
+                        f"{f.label}: load/store hazard at address {f.addr} "
+                        f"with {stores_this_cycle[f.addr]}"
+                    )
+                value = memory.load(f.addr)
+                result.loads += 1
+                pe.commit(cycle, value)
+            elif f.opcode is Opcode.STORE:
+                if f.addr is None:
+                    raise SimulationError(f"{f.label}: store without address")
+                pending_stores.append((f.addr, ops[0], f.label))
+                value = ops[0]
+                pe.commit(cycle, value)
+            else:
+                value = pe.execute(f.opcode, ops, f.immediate, cycle)
+            if trace is not None:
+                trace.record(f, ops, value)
+            for slot in f.global_writes:
+                global_store[slot] = value
+                result.global_writes += 1
+            result.firings += 1
+            result.pe_busy[f.pe] = result.pe_busy.get(f.pe, 0) + 1
+
+        # load/store hazard check is order-independent because loads above
+        # saw only *earlier-cycle* memory state except when flagged; commit
+        # stores at end of cycle.
+        for addr, value, _label in pending_stores:
+            memory.store(addr, value)
+            result.stores += 1
+
+        result.cycles = cycle + 1
+    return result
+
+
+def _check_conflicts(batch, cgra, bus_key, cycle) -> None:
+    seen: dict[Coord, str] = {}
+    bus: dict[Hashable, int] = {}
+    for f in batch:
+        if not cgra.interconnect.contains(f.pe):
+            raise SimulationError(f"{f.label} fires on PE {f.pe} outside grid")
+        if f.pe in seen:
+            raise SimulationError(
+                f"PE {f.pe} double-booked at cycle {cycle}: "
+                f"{seen[f.pe]} and {f.label}"
+            )
+        seen[f.pe] = f.label
+        if f.is_memory:
+            key = bus_key(f.pe)
+            bus[key] = bus.get(key, 0) + 1
+            if bus[key] > cgra.mem_ports_per_row:
+                raise SimulationError(
+                    f"bus segment {key} over capacity at cycle {cycle}"
+                )

@@ -1,0 +1,79 @@
+"""Configuration-driven execution: run a kernel straight from its
+configuration memory.
+
+This is the hardware's view: each PE replays its
+:class:`~repro.arch.config.SlotConfig` table with period II, no knowledge
+of the DFG or the mapping.  ``unroll_config`` expands a
+:class:`~repro.arch.config.ConfigTable` into the simulator's firing form,
+giving a second, independent execution path for compiled kernels — the
+tests cross-check it against the mapping-driven lowering and the reference
+interpreter, so a bug in either pipeline shows up as a divergence.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import ConfigTable, GlobalRead, Immediate, ReadNeighbor
+from repro.sim.lowering import Firing, GlobalSlot, ResolvedRead
+from repro.util.errors import SimulationError
+
+__all__ = ["unroll_config"]
+
+
+def unroll_config(table: ConfigTable, trip: int) -> list[Firing]:
+    """Firing program for *trip* kernel iterations of a configuration.
+
+    Each slot fires at ``start + k * II`` for ``k = 0 .. trip - 1 -
+    trip_offset`` (slots carrying loop-distance-*d* values skip the first
+    *d* kernel iterations; consumers read the edge's preloaded ``init``
+    values instead).  Addresses resolve through the slot's
+    :class:`~repro.arch.config.AddressPattern`.
+    """
+    if trip < 0:
+        raise SimulationError(f"trip count must be >= 0, got {trip}")
+    firings: list[Firing] = []
+    ii = table.ii
+    for (pe, _mtime), slot in table.slots.items():
+        fires = trip - slot.trip_offset
+        for k in range(max(0, fires)):
+            cycle = slot.start + k * ii
+            iteration = k + slot.trip_offset
+            operands = []
+            for src in slot.operands:
+                if isinstance(src, Immediate):
+                    operands.append(src.value)
+                elif isinstance(src, ReadNeighbor):
+                    # iteration semantics: this slot's firing consumes the
+                    # value of kernel iteration (iteration - loop_distance)
+                    if iteration < src.loop_distance:
+                        if not src.init:
+                            raise SimulationError(
+                                f"{slot.op_id}: prologue read without init"
+                            )
+                        operands.append(src.init[iteration])
+                    else:
+                        operands.append(ResolvedRead(src.pe, cycle - src.delta))
+                elif isinstance(src, GlobalRead):
+                    operands.append(
+                        GlobalSlot(src.edge_id, iteration - src.loop_distance)
+                    )
+                else:
+                    raise SimulationError(
+                        f"{slot.op_id}: unknown operand source {src!r}"
+                    )
+            firings.append(
+                Firing(
+                    cycle=cycle,
+                    pe=pe,
+                    label=f"{slot.op_id}#{iteration}",
+                    opcode=slot.opcode,
+                    operands=tuple(operands),
+                    immediate=slot.immediate,
+                    addr=slot.addr.resolve(iteration) if slot.addr else None,
+                    iteration=iteration,
+                    global_writes=tuple(
+                        GlobalSlot(eid, iteration) for eid in slot.writes_global
+                    ),
+                )
+            )
+    firings.sort(key=lambda f: (f.cycle, f.pe))
+    return firings

@@ -1,0 +1,184 @@
+"""Lowering: compiled mapping -> explicit firing program.
+
+A *firing* is one execution of one op or route step for one kernel
+iteration, with every operand resolved to either an immediate or a read of
+the value some PE produced at an exact earlier cycle.  Lowering a modulo
+schedule is mechanical (iteration *i* of an item at flat time *t* fires at
+``t + i*II``); having the explicit form lets one simulator core execute
+both compiled and PageMaster-transformed schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.interconnect import Coord
+from repro.arch.isa import Opcode
+from repro.arch.memory import DataMemory
+from repro.compiler.mapping import Mapping
+from repro.dfg.graph import Edge
+from repro.util.errors import SimulationError
+
+__all__ = ["ResolvedRead", "GlobalSlot", "Firing", "lower_mapping", "resolve_addr"]
+
+
+@dataclass(frozen=True)
+class ResolvedRead:
+    """Read the value *pe* produced at exactly cycle *cycle* (register-file
+    depth = reader cycle - *cycle*)."""
+
+    pe: Coord
+    cycle: int
+
+
+@dataclass(frozen=True)
+class GlobalSlot:
+    """A value parked in the reserved global storage area, keyed by the DFG
+    edge and the consumer iteration it serves."""
+
+    edge_id: int
+    iteration: int
+
+
+@dataclass(frozen=True)
+class Firing:
+    """One execution of one op/route step for one kernel iteration."""
+
+    cycle: int
+    pe: Coord
+    label: str
+    opcode: Opcode
+    operands: tuple = ()
+    immediate: int | None = None
+    addr: int | None = None
+    iteration: int = 0
+    global_writes: tuple[GlobalSlot, ...] = ()
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.LOADT, Opcode.STORE)
+
+
+def resolve_addr(
+    memref, iteration: int, memory: DataMemory, array_prefix: str = ""
+) -> int:
+    """Absolute address of a symbolic memory reference at *iteration*.
+
+    ``array_prefix`` namespaces the lookup (``"t0/" + name``) so several
+    co-resident kernels can share one data memory without name clashes.
+    """
+    spec = memory.array(array_prefix + memref.array)
+    idx = memref.offset + memref.stride * iteration
+    if memref.ring is not None:
+        idx %= memref.ring
+    if not 0 <= idx < spec.length:
+        raise SimulationError(
+            f"array {memref.array!r} index {idx} out of bounds "
+            f"[0,{spec.length}) at iteration {iteration}"
+        )
+    return spec.base + idx
+
+
+def _shift(operand, start_cycle: int):
+    """Shift a resolved read by a program's start offset."""
+    if start_cycle and isinstance(operand, ResolvedRead):
+        return ResolvedRead(operand.pe, operand.cycle + start_cycle)
+    return operand
+
+
+def _operand_for_edge(
+    mapping: Mapping, e: Edge, iteration: int
+):
+    """Resolve the consumer-side operand of *e* at *iteration*: a folded
+    constant, an immediate during the loop-carried prologue, or a read of
+    the last holder."""
+    src = mapping.dfg.ops[e.src]
+    if src.opcode is Opcode.CONST:
+        return src.immediate  # constants live in the configuration (§II)
+    if iteration < e.distance:
+        return e.init[iteration]  # plain int -> immediate operand
+    holder_pe, holder_time = mapping.holder_before(e)
+    return ResolvedRead(holder_pe, holder_time + iteration * mapping.ii)
+
+
+def lower_mapping(
+    mapping: Mapping,
+    memory: DataMemory,
+    trip: int,
+    *,
+    array_prefix: str = "",
+    start_cycle: int = 0,
+    first_iteration: int = 0,
+) -> list[Firing]:
+    """Firing program for *trip* kernel iterations of a compiled mapping.
+
+    ``start_cycle`` shifts the whole program in time (a thread launched
+    mid-run); ``array_prefix`` namespaces its arrays in the shared memory;
+    ``first_iteration`` offsets memory addressing so a kernel can be
+    resumed mid-stream (dynamic reshaping hands execution from one
+    schedule to another at an iteration boundary — loop-carried edges then
+    carry the boundary state in their ``init`` values).
+    """
+    if trip < 0:
+        raise SimulationError(f"trip count must be >= 0, got {trip}")
+    if start_cycle < 0:
+        raise SimulationError(f"start_cycle must be >= 0, got {start_cycle}")
+    dfg, ii = mapping.dfg, mapping.ii
+    firings: list[Firing] = []
+
+    for i in range(trip):
+        # operations (constants are folded into operands, not fired)
+        for op_id, op in dfg.ops.items():
+            if op.opcode is Opcode.CONST:
+                continue
+            p = mapping.placement(op_id)
+            operands = tuple(
+                _shift(_operand_for_edge(mapping, e, i), start_cycle)
+                for e in dfg.in_edges(op_id)
+            )
+            addr = (
+                resolve_addr(op.memref, first_iteration + i, memory, array_prefix)
+                if op.memref is not None
+                else None
+            )
+            firings.append(
+                Firing(
+                    cycle=start_cycle + p.time + i * ii,
+                    pe=p.pe,
+                    label=f"{op.label}#{i}",
+                    opcode=op.opcode,
+                    operands=operands,
+                    immediate=op.immediate,
+                    addr=addr,
+                    iteration=i,
+                )
+            )
+        # route steps: only live once the carried value is a real produced
+        # value (consumer iterations >= distance); prologue iterations read
+        # the edge's init as an immediate directly at the consumer.
+        for e in dfg.edges.values():
+            if i < e.distance:
+                continue
+            steps = mapping.route(e.id).steps
+            if not steps:
+                continue
+            prev_pe, prev_time = mapping.route_origin(e)
+            for hop, s in enumerate(steps):
+                firings.append(
+                    Firing(
+                        cycle=start_cycle + s.time + i * ii,
+                        pe=s.pe,
+                        label=f"route{e.id}.{hop}#{i}",
+                        opcode=Opcode.ROUTE,
+                        operands=(
+                            ResolvedRead(
+                                prev_pe, start_cycle + prev_time + i * ii
+                            ),
+                        ),
+                        iteration=i,
+                    )
+                )
+                prev_pe, prev_time = s.pe, s.time
+
+    firings.sort(key=lambda f: (f.cycle, f.pe))
+    return firings

@@ -1,0 +1,232 @@
+"""Retargeting: paged mapping + PageMaster placement -> transformed firings.
+
+This is the runtime half of the paper's contribution, made executable.
+Given a ring-constrained mapping of a kernel on all *N* pages and a
+:class:`~repro.core.pagemaster.PagePlacement` onto *M* columns, build the
+explicit firing program of the shrunken schedule on a concrete chain of
+*M* physical page tiles:
+
+* every page instance keeps its internal mapping, re-oriented by the fold
+  mirroring of :mod:`repro.core.mirroring`;
+* each inter-instance transfer is resolved to the cheapest mechanism that
+  physically works: a rotating-register read of the holding PE (same PE or
+  a mesh neighbour — the §VI-E architectural support), else a round trip
+  through the reserved global storage area of the data memory;
+* every firing's cycle comes from the placement, so the simulated cycle
+  count is exactly the transformed schedule's makespan.
+
+Functional equivalence with the untransformed mapping (and with the DFG
+reference interpreter) is checked by the integration tests for every
+kernel and every legal M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.arch.interconnect import Coord
+from repro.arch.isa import Opcode
+from repro.arch.memory import DataMemory
+from repro.compiler.paged import PagedMapping
+from repro.core.mirroring import fold_orientations
+from repro.core.pagemaster import PagePlacement
+from repro.sim.lowering import Firing, GlobalSlot, ResolvedRead, resolve_addr
+from repro.util.errors import TransformError
+
+__all__ = ["required_batches", "retarget_firings"]
+
+
+def required_batches(mapping, trip: int) -> int:
+    """How many original cycles (batches) a *trip*-iteration run spans."""
+    if trip <= 0:
+        return 0
+    return mapping.schedule_length + (trip - 1) * mapping.ii
+
+
+def retarget_firings(
+    paged: PagedMapping,
+    placement: PagePlacement,
+    target_pages: Sequence[int],
+    memory: DataMemory,
+    trip: int,
+    *,
+    rf_limit: int | None = None,
+    array_prefix: str = "",
+    start_cycle: int = 0,
+    first_iteration: int = 0,
+    firing_tag: str = "",
+) -> list[Firing]:
+    """Build the firing program of the transformed schedule.
+
+    ``target_pages`` lists the physical tiles (layout ring indices) backing
+    columns 0..M-1; they must be chain-contiguous so adjacent columns are
+    mesh-adjacent.  ``rf_limit`` caps how many cycles a value may wait in a
+    rotating register file before the transfer is routed through global
+    storage instead (defaults to the architecture's ``rf_depth``; the cycle
+    distance is a safe upper bound on the file occupancy).  For
+    co-residency, ``array_prefix`` namespaces the kernel's arrays in a
+    shared memory, ``start_cycle`` shifts the program in time, and
+    ``firing_tag`` disambiguates global-storage slots between threads.
+    """
+    mapping, layout = paged.mapping, paged.layout
+    full = paged.full_layout or layout
+    ii = mapping.ii
+    m = placement.m
+    if len(target_pages) != m:
+        raise TransformError(
+            f"placement has {m} columns but {len(target_pages)} target pages"
+        )
+    if placement.n_pages != layout.num_pages or placement.ii_p != ii:
+        raise TransformError(
+            f"placement is for N={placement.n_pages}, II={placement.ii_p}; "
+            f"mapping has N={layout.num_pages}, II={ii}"
+        )
+    for x in range(m - 1):
+        if not full._pages_adjacent(target_pages[x], target_pages[x + 1]):
+            raise TransformError(
+                f"target pages {target_pages[x]} and {target_pages[x + 1]} "
+                f"are not physically adjacent"
+            )
+    need = required_batches(mapping, trip)
+    if placement.batches < need:
+        raise TransformError(
+            f"placement covers {placement.batches} batches, run needs {need}"
+        )
+
+    if rf_limit is None:
+        rf_limit = mapping.cgra.rf_depth
+    orients = fold_orientations(layout)
+
+    def locate(pe: Coord, batch: int) -> tuple[Coord, int]:
+        """Transformed (physical PE, cycle) of the item originally on *pe*
+        firing at original cycle *batch*."""
+        n = layout.page_of[pe]
+        col, t = placement.slots[(n, batch)]
+        phys = full.place_local(target_pages[col], layout.local_of[pe], orients[n])
+        return phys, t + start_cycle
+
+    dfg = mapping.dfg
+    firings: dict[tuple, Firing] = {}
+    # transfers that need the global fallback: holder firing key -> slots
+    pending_global: dict[tuple, list[GlobalSlot]] = {}
+    # identity of every committed route step, for resolving fanout taps
+    step_index: dict[tuple, tuple[int, int]] = {
+        (st.pe, st.time): (eid, hop)
+        for eid, r in mapping.routes.items()
+        for hop, st in enumerate(r.steps)
+    }
+
+    def chain_origin(e):
+        """(pe, time, firing-key-prefix) of the position an edge's chain
+        reads first: a tapped sibling step or the producer."""
+        r = mapping.route(e.id)
+        if r.tap is not None:
+            eid, hop = step_index[(r.tap.pe, r.tap.time)]
+            return r.tap.pe, r.tap.time, ("route", eid, hop)
+        src = mapping.placement(e.src)
+        return src.pe, src.time - e.distance * ii, ("op", e.src)
+
+    def transfer_operand(
+        holder_pe: Coord,
+        holder_time: int,
+        holder_key: tuple,
+        reader_phys: Coord,
+        reader_cycle: int,
+        edge_id: int,
+        iteration: int,
+    ):
+        batch_h = holder_time + iteration * ii
+        phys_h, t_h = locate(holder_pe, batch_h)
+        if (
+            mapping.cgra.adjacent_or_same(reader_phys, phys_h)
+            and reader_cycle - t_h <= rf_limit
+        ):
+            return ResolvedRead(phys_h, t_h)
+        slot = GlobalSlot((firing_tag, edge_id) if firing_tag else edge_id, iteration)
+        pending_global.setdefault(holder_key, []).append(slot)
+        return slot
+
+    for i in range(trip):
+        for op_id, op in dfg.ops.items():
+            if op.opcode is Opcode.CONST:
+                continue
+            p = mapping.placement(op_id)
+            batch = p.time + i * ii
+            phys, cycle = locate(p.pe, batch)
+            operands = []
+            for e in dfg.in_edges(op_id):
+                src_op = dfg.ops[e.src]
+                if src_op.opcode is Opcode.CONST:
+                    operands.append(src_op.immediate)
+                    continue
+                if i < e.distance:
+                    operands.append(e.init[i])
+                    continue
+                holder_pe, holder_time = mapping.holder_before(e)
+                steps = mapping.route(e.id).steps
+                if steps:
+                    holder_key = ("route", e.id, len(steps) - 1, i)
+                else:
+                    ope, oti, prefix = chain_origin(e)
+                    holder_key = (
+                        (*prefix, i)
+                        if prefix[0] == "route"
+                        else ("op", e.src, i - e.distance)
+                    )
+                operands.append(
+                    transfer_operand(holder_pe, holder_time, holder_key, phys, cycle, e.id, i)
+                )
+            addr = (
+                resolve_addr(op.memref, first_iteration + i, memory, array_prefix)
+                if op.memref
+                else None
+            )
+            firings[("op", op_id, i)] = Firing(
+                cycle=cycle,
+                pe=phys,
+                label=f"{op.label}#{i}",
+                opcode=op.opcode,
+                operands=tuple(operands),
+                immediate=op.immediate,
+                addr=addr,
+                iteration=i,
+            )
+        for e in dfg.edges.values():
+            if i < e.distance:
+                continue
+            steps = mapping.route(e.id).steps
+            if not steps:
+                continue
+            prev_pe, prev_time, prefix = chain_origin(e)
+            prev_key = (
+                (*prefix, i)
+                if prefix[0] == "route"
+                else ("op", e.src, i - e.distance)
+            )
+            for hop, s in enumerate(steps):
+                batch = s.time + i * ii
+                phys, cycle = locate(s.pe, batch)
+                operand = transfer_operand(
+                    prev_pe, prev_time, prev_key, phys, cycle, e.id, i
+                )
+                firings[("route", e.id, hop, i)] = Firing(
+                    cycle=cycle,
+                    pe=phys,
+                    label=f"route{e.id}.{hop}#{i}",
+                    opcode=Opcode.ROUTE,
+                    operands=(operand,),
+                    iteration=i,
+                )
+                prev_pe, prev_time = s.pe, s.time
+                prev_key = ("route", e.id, hop, i)
+
+    for key, slots in pending_global.items():
+        f = firings.get(key)
+        if f is None:
+            raise TransformError(f"global transfer from missing firing {key}")
+        firings[key] = replace(f, global_writes=f.global_writes + tuple(slots))
+
+    out = list(firings.values())
+    out.sort(key=lambda f: (f.cycle, f.pe))
+    return out

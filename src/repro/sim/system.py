@@ -1,0 +1,423 @@
+"""Discrete-event simulation of a multithreaded CPU with a CGRA accelerator.
+
+Implements the paper's §VII-B evaluation system in two modes:
+
+* ``"single"`` — the status-quo baseline: the CGRA is single-threaded and
+  non-preemptive; a kernel occupies the whole array (at its *unconstrained*
+  baseline II) and other threads queue FIFO;
+* ``"multithreaded"`` — the paper's system: kernels are compiled with the
+  paging constraints (paying the constrained ``II_paged``), and at runtime
+  the :class:`~repro.core.runtime.CGRAManager` space-multiplexes the array.
+  A kernel resident on *M* of the *N* pages progresses at the exact
+  steady-state initiation interval of its PageMaster-transformed schedule,
+  ``II_eff = steady_state_ii(N, II_paged, M)`` (``II_paged`` when it holds
+  the whole array — no transformation needed).
+
+Every thread runs on its own core (the host is a multithreaded processor),
+so CPU segments always progress; only the accelerator is contended.  Time
+is tracked with exact fractions, so results are deterministic and
+platform-independent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.core.pagemaster import steady_state_ii
+from repro.core.policies import AllocationPolicy, HalvingPolicy
+from repro.core.runtime import CGRAManager
+from repro.sim.workload import ThreadSpec
+from repro.util.errors import SimulationError, WorkloadError
+
+__all__ = ["KernelProfile", "SystemConfig", "SystemResult", "simulate_system"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Compiled facts about one kernel on one CGRA configuration.
+
+    ``pages_used`` is the kernel's page *need*: the paged compiler maps it
+    onto the smallest page prefix preserving the II (§VII-B: schedules that
+    do not use the entire CGRA leave the rest free).  ``wrap_used`` records
+    whether the paged mapping depends on the ring-wrap link; wrap-free
+    kernels shrink with the optimal grouped fold when the target page count
+    divides the need.
+    """
+
+    name: str
+    ii_base: int  # unconstrained mapping on the full array
+    ii_paged: int  # ring-constrained mapping on its page prefix
+    pages_used: int = 1
+    wrap_used: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ii_base < 1 or self.ii_paged < 1:
+            raise WorkloadError(f"kernel {self.name}: IIs must be >= 1")
+        if self.pages_used < 1:
+            raise WorkloadError(f"kernel {self.name}: pages_used must be >= 1")
+
+
+@dataclass
+class SystemConfig:
+    """Parameters of one system simulation."""
+
+    n_pages: int
+    profiles: dict[str, KernelProfile]
+    policy: AllocationPolicy | None = None
+    reconfig_overhead: int = 0  # cycles a thread stalls per reallocation
+    # §VII-B: "the current thread is switched at an integer value of
+    # II_p x N/M" — when set, a reshaped thread first completes its
+    # in-flight kernel iteration at the old rate before the new allocation
+    # takes effect
+    switch_at_iteration_boundary: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_pages < 1:
+            raise SimulationError(f"n_pages must be >= 1, got {self.n_pages}")
+        if self.policy is None:
+            self.policy = HalvingPolicy()
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one system simulation."""
+
+    mode: str
+    makespan: float
+    finish_times: dict[int, float]
+    cgra_busy_page_cycles: float
+    n_pages: int
+    reallocations: int = 0
+    kernel_invocations: int = 0
+    wait_cycles: float = 0.0  # total time threads spent queued for the CGRA
+
+    @property
+    def cgra_utilization(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.cgra_busy_page_cycles / (self.n_pages * self.makespan)
+
+    @property
+    def avg_turnaround(self) -> float:
+        if not self.finish_times:
+            return 0.0
+        return sum(self.finish_times.values()) / len(self.finish_times)
+
+
+def improvement(base: SystemResult, other: SystemResult) -> float:
+    """Fractional performance improvement of *other* vs *base* (makespan)."""
+    if other.makespan <= 0:
+        return 0.0
+    return base.makespan / other.makespan - 1.0
+
+
+@dataclass
+class _ThreadState:
+    spec: ThreadSpec
+    seg_idx: int = 0
+    version: int = 0
+    # active CGRA kernel bookkeeping
+    iterations_left: Fraction = Fraction(0)
+    rate: Fraction = Fraction(1)  # cycles per iteration
+    last_update: Fraction = Fraction(0)
+    stall_until: Fraction = Fraction(0)
+    queued_since: Fraction | None = None
+    finished: Fraction | None = None
+
+
+class _SystemSim:
+    def __init__(self, workload, config: SystemConfig, mode: str) -> None:
+        if mode not in ("single", "multithreaded"):
+            raise SimulationError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.config = config
+        self.threads = {t.tid: _ThreadState(t) for t in workload}
+        self.events: list = []
+        self.counter = itertools.count()
+        self.manager = CGRAManager(config.n_pages, config.policy)
+        self.single_running: int | None = None
+        self.single_queue: list[int] = []
+        self.timeline = None
+        self.busy_page_cycles = Fraction(0)
+        self.result = SystemResult(
+            mode=mode,
+            makespan=0.0,
+            finish_times={},
+            cgra_busy_page_cycles=0.0,
+            n_pages=config.n_pages,
+        )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _profile(self, kernel: str) -> KernelProfile:
+        try:
+            return self.config.profiles[kernel]
+        except KeyError:
+            raise SimulationError(f"no profile for kernel {kernel!r}") from None
+
+    def _ii_eff(self, kernel: str, m: int) -> Fraction:
+        """Initiation interval of *kernel* on an *m*-page allocation.
+
+        An allocation at least as large as the kernel's page need runs the
+        compiled schedule untransformed ("no transformation needs to be
+        performed", §VII-B); smaller allocations run the PageMaster-shrunk
+        schedule at its exact steady-state II.
+        """
+        prof = self._profile(kernel)
+        if self.mode == "single":
+            return Fraction(prof.ii_base)
+        if m >= prof.pages_used:
+            return Fraction(prof.ii_paged)
+        # The zigzag's efficiency is not monotone in M (e.g. 8 pages onto 5
+        # columns is slower than the grouped fold onto only 4), so the
+        # runtime picks the best sub-allocation of the granted segment.
+        return min(
+            _cached_steady_ii(prof.pages_used, prof.ii_paged, m_eff, prof.wrap_used)
+            for m_eff in range(1, m + 1)
+        )
+
+    def _push(self, time: Fraction, kind: str, tid: int) -> None:
+        st = self.threads[tid]
+        heapq.heappush(
+            self.events, (time, next(self.counter), st.version, kind, tid)
+        )
+
+    # -- thread progression ----------------------------------------------------------
+
+    def _start_segment(self, tid: int, now: Fraction) -> None:
+        st = self.threads[tid]
+        if st.seg_idx >= len(st.spec.segments):
+            st.finished = now
+            self.result.finish_times[tid] = float(now)
+            return
+        seg = st.spec.segments[st.seg_idx]
+        if seg.kind == "cpu":
+            self._push(now + seg.cycles, "cpu_done", tid)
+        else:
+            self.result.kernel_invocations += 1
+            if self.mode == "single":
+                self._single_request(tid, now)
+            else:
+                self._mt_request(tid, now)
+
+    # single-threaded CGRA ------------------------------------------------------------
+
+    def _single_request(self, tid: int, now: Fraction) -> None:
+        if self.single_running is None:
+            self._single_start(tid, now)
+        else:
+            self.threads[tid].queued_since = now
+            self.single_queue.append(tid)
+
+    def _single_start(self, tid: int, now: Fraction) -> None:
+        st = self.threads[tid]
+        if st.queued_since is not None:
+            self.result.wait_cycles += float(now - st.queued_since)
+            st.queued_since = None
+        seg = st.spec.segments[st.seg_idx]
+        self.single_running = tid
+        dur = Fraction(seg.trip) * self._ii_eff(seg.kernel, self.config.n_pages)
+        self.busy_page_cycles += dur * self.config.n_pages
+        self._push(now + dur, "kernel_done", tid)
+
+    # multithreaded CGRA ---------------------------------------------------------------
+
+    def _mt_request(self, tid: int, now: Fraction) -> None:
+        st = self.threads[tid]
+        seg = st.spec.segments[st.seg_idx]
+        st.iterations_left = Fraction(seg.trip)
+        st.last_update = now
+        st.queued_since = now
+        events = self.manager.request(
+            tid, need=self._profile(seg.kernel).pages_used
+        )
+        self._apply_reallocations(events, now)
+        if self.manager.allocation_of(tid) is None:
+            if self.timeline is not None:
+                self.timeline.record(now, "queued", tid, seg.kernel)
+            return  # queued; woken by a future release
+        if st.queued_since is not None:  # not already activated by the events
+            self._mt_activate(tid, now)
+
+    def _mt_activate(self, tid: int, now: Fraction) -> None:
+        st = self.threads[tid]
+        if st.queued_since is not None:
+            self.result.wait_cycles += float(now - st.queued_since)
+            st.queued_since = None
+        alloc = self.manager.allocation_of(tid)
+        seg = st.spec.segments[st.seg_idx]
+        if self.timeline is not None:
+            self.timeline.record(
+                now,
+                "kernel_start",
+                tid,
+                f"{seg.kernel} x{seg.trip} on {alloc.length} pages",
+            )
+        st.rate = self._ii_eff(seg.kernel, alloc.length)
+        st.last_update = now
+        self._schedule_completion(tid, now)
+
+    def _schedule_completion(self, tid: int, now: Fraction) -> None:
+        st = self.threads[tid]
+        st.version += 1
+        done = max(now, st.stall_until) + st.iterations_left * st.rate
+        self._push(done, "kernel_done", tid)
+
+    def _progress(self, tid: int, now: Fraction) -> None:
+        """Advance a running kernel's iteration count to *now*."""
+        st = self.threads[tid]
+        alloc = self.manager.allocation_of(tid)
+        if alloc is None:
+            return
+        start = max(st.last_update, st.stall_until)
+        if now > start and st.rate > 0:
+            advanced = (now - start) / st.rate
+            st.iterations_left = max(Fraction(0), st.iterations_left - advanced)
+            self.busy_page_cycles += (now - start) * alloc.length
+        st.last_update = now
+
+    def _apply_reallocations(self, events, now: Fraction) -> None:
+        """Reshape running threads after manager events: bill progress at
+        the old rate up to *now*, charge the reconfiguration stall, and
+        reschedule their completions at the new rate."""
+        for ev in events:
+            st = self.threads.get(ev.tid)
+            if st is None or st.finished is not None:
+                continue
+            if self.timeline is not None and ev.before and ev.after:
+                self.timeline.record(
+                    now,
+                    "realloc",
+                    ev.tid,
+                    f"{ev.before.length} -> {ev.after.length} pages",
+                )
+            seg = (
+                st.spec.segments[st.seg_idx]
+                if st.seg_idx < len(st.spec.segments)
+                else None
+            )
+            if seg is None or seg.kind != "cgra":
+                continue
+            if ev.before is not None:
+                # it was running: bill progress at the old allocation first
+                old_alloc_len = ev.before.length
+                start = max(st.last_update, st.stall_until)
+                if now > start and st.rate > 0:
+                    advanced = (now - start) / st.rate
+                    st.iterations_left = max(
+                        Fraction(0), st.iterations_left - advanced
+                    )
+                    self.busy_page_cycles += (now - start) * old_alloc_len
+                st.last_update = now
+                if (
+                    self.config.switch_at_iteration_boundary
+                    and st.iterations_left > 0
+                ):
+                    # finish the in-flight iteration at the old rate before
+                    # the transformed schedule takes over
+                    whole = st.iterations_left.__floor__()
+                    frac = st.iterations_left - whole
+                    if frac > 0:
+                        st.stall_until = max(st.stall_until, now) + frac * st.rate
+                        st.iterations_left = Fraction(whole)
+                        self.busy_page_cycles += frac * st.rate * old_alloc_len
+            if ev.after is None:
+                continue  # eviction/departure; departures handled elsewhere
+            seg_kernel = seg.kernel
+            st.rate = self._ii_eff(seg_kernel, ev.after.length)
+            if ev.before is not None and self.config.reconfig_overhead:
+                st.stall_until = now + self.config.reconfig_overhead
+            if st.queued_since is not None:
+                self._mt_activate(ev.tid, now)
+            else:
+                self._schedule_completion(ev.tid, now)
+
+    # -- event loop -------------------------------------------------------------------
+
+    def run(self) -> SystemResult:
+        now = Fraction(0)
+        for tid, st in self.threads.items():
+            arrival = st.spec.arrival
+            if arrival <= 0:
+                self._start_segment(tid, now)
+            else:
+                self._push(Fraction(arrival), "arrive", tid)
+        while self.events:
+            time, _, version, kind, tid = heapq.heappop(self.events)
+            st = self.threads[tid]
+            if kind == "kernel_done" and version != st.version:
+                continue  # stale completion, superseded by a reallocation
+            now = time
+            if kind == "arrive":
+                self._start_segment(tid, now)
+            elif kind == "cpu_done":
+                st.seg_idx += 1
+                self._start_segment(tid, now)
+            elif kind == "kernel_done":
+                if self.mode == "single":
+                    self.single_running = None
+                    st.seg_idx += 1
+                    self._start_segment(tid, now)
+                    if self.single_queue:
+                        self._single_start(self.single_queue.pop(0), now)
+                else:
+                    self._progress(tid, now)
+                    if self.timeline is not None and st.iterations_left <= 0:
+                        self.timeline.record(now, "kernel_done", tid)
+                    if st.iterations_left > 0:
+                        # numeric guard; with exact fractions this only
+                        # happens for stale events filtered above
+                        self._schedule_completion(tid, now)
+                        continue
+                    events = self.manager.release(tid)
+                    self.result.reallocations += sum(
+                        1 for e in events if e.tid != tid and e.after is not None
+                    )
+                    st.seg_idx += 1
+                    self._apply_reallocations(
+                        [e for e in events if e.tid != tid], now
+                    )
+                    self._start_segment(tid, now)
+            else:
+                raise SimulationError(f"unknown event kind {kind!r}")
+        unfinished = [t for t, s in self.threads.items() if s.finished is None]
+        if unfinished:
+            raise SimulationError(f"threads never finished: {unfinished}")
+        self.result.makespan = max(self.result.finish_times.values(), default=0.0)
+        self.result.cgra_busy_page_cycles = float(self.busy_page_cycles)
+        return self.result
+
+
+_steady_cache: dict[tuple[int, int, int, bool], Fraction] = {}
+
+
+def _cached_steady_ii(
+    n_pages: int, ii_p: int, m: int, wrap_used: bool = False
+) -> Fraction:
+    key = (n_pages, ii_p, m, wrap_used)
+    if key not in _steady_cache:
+        _steady_cache[key] = steady_state_ii(
+            n_pages, ii_p, m, wrap_used=wrap_used
+        )
+    return _steady_cache[key]
+
+
+def simulate_system(
+    workload: list[ThreadSpec],
+    config: SystemConfig,
+    mode: str,
+    *,
+    timeline=None,
+) -> SystemResult:
+    """Simulate *workload* on the system in the given mode.
+
+    ``timeline`` (a :class:`repro.sim.trace.SystemTimeline`) records
+    thread-level events: kernel starts/completions, reallocations, queue
+    entries.
+    """
+    sim = _SystemSim(workload, config, mode)
+    sim.timeline = timeline
+    return sim.run()

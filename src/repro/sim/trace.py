@@ -1,0 +1,114 @@
+"""Execution tracing.
+
+Two recorders, both optional and zero-cost when unused:
+
+* :class:`CycleTrace` — plugs into :func:`repro.sim.cgra_sim.simulate` and
+  records every firing with its resolved operand values, for debugging
+  mappings and transformed schedules (``render()`` prints a per-cycle
+  log like a waveform viewer's transcript).
+* :class:`SystemTimeline` — plugs into the discrete-event system model and
+  records thread-level events (kernel start/finish, reallocations, queue
+  waits), for understanding how the page manager multiplexes the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.arch.interconnect import Coord
+
+__all__ = ["FiringRecord", "CycleTrace", "TimelineEvent", "SystemTimeline"]
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One executed firing with its inputs and result."""
+
+    cycle: int
+    pe: Coord
+    label: str
+    opcode: str
+    operands: tuple[int, ...]
+    value: int
+    iteration: int
+
+
+@dataclass
+class CycleTrace:
+    """Bounded recorder of executed firings."""
+
+    limit: int = 100_000
+    records: list[FiringRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, firing, operands: list[int], value: int) -> None:
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(
+            FiringRecord(
+                firing.cycle,
+                firing.pe,
+                firing.label,
+                firing.opcode.value,
+                tuple(operands),
+                value,
+                firing.iteration,
+            )
+        )
+
+    def at_cycle(self, cycle: int) -> list[FiringRecord]:
+        return [r for r in self.records if r.cycle == cycle]
+
+    def of_op(self, label_prefix: str) -> list[FiringRecord]:
+        return [r for r in self.records if r.label.startswith(label_prefix)]
+
+    def render(self, *, first: int = 0, last: int | None = None) -> str:
+        lines = []
+        for r in self.records:
+            if r.cycle < first or (last is not None and r.cycle > last):
+                continue
+            ops = ",".join(str(v) for v in r.operands)
+            lines.append(
+                f"c{r.cycle:05d} {r.pe} {r.label:<16} "
+                f"{r.opcode:<6} ({ops}) -> {r.value}"
+            )
+        if self.dropped:
+            lines.append(f"... {self.dropped} records dropped (limit {self.limit})")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One system-level event."""
+
+    time: float
+    kind: str  # kernel_start | kernel_done | realloc | queued | cpu_start
+    tid: int
+    detail: str = ""
+
+
+@dataclass
+class SystemTimeline:
+    """Recorder for the multithreaded system simulation."""
+
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def record(self, time: Fraction | float, kind: str, tid: int, detail: str = "") -> None:
+        self.events.append(TimelineEvent(float(time), kind, tid, detail))
+
+    def of_thread(self, tid: int) -> list[TimelineEvent]:
+        return [e for e in self.events if e.tid == tid]
+
+    def of_kind(self, kind: str) -> list[TimelineEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def render(self, *, max_events: int | None = None) -> str:
+        events = sorted(self.events, key=lambda e: (e.time, e.tid))
+        if max_events is not None:
+            events = events[:max_events]
+        return "\n".join(
+            f"t={e.time:12.1f}  thread {e.tid:<3d} {e.kind:<13s} {e.detail}"
+            for e in events
+        )

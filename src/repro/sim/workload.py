@@ -1,0 +1,121 @@
+"""Workload generation for the multithreading experiments (§VII-B.1).
+
+"We run 1, 2, 4, 8, and 16 threads in parallel for each of the CGRA needs.
+Each thread is randomly and independently generated, where portions of the
+thread are either assigned to the processor or the CGRA.  For portions
+assigned to the CGRA, the schedule that is ran is randomly chosen so as to
+not create bias towards any one kernel."
+
+A thread is a sequence of segments alternating between CPU work (cycles on
+the host core) and CGRA kernels (a kernel name plus a trip count).  The
+*CGRA need* (50% / 75% / 87.5% in the paper) is the fraction of the
+thread's nominal single-threaded execution time spent in CGRA kernels,
+where a kernel's nominal time is ``trip x II`` on the full array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.errors import WorkloadError
+from repro.util.rng import make_rng
+
+__all__ = ["Segment", "ThreadSpec", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One phase of a thread: CPU cycles or a CGRA kernel invocation."""
+
+    kind: str  # "cpu" | "cgra"
+    cycles: int = 0  # cpu only
+    kernel: str = ""  # cgra only
+    trip: int = 0  # cgra only
+
+    def __post_init__(self) -> None:
+        if self.kind == "cpu":
+            if self.cycles <= 0:
+                raise WorkloadError(f"cpu segment needs cycles > 0, got {self.cycles}")
+        elif self.kind == "cgra":
+            if not self.kernel or self.trip <= 0:
+                raise WorkloadError("cgra segment needs a kernel and trip > 0")
+        else:
+            raise WorkloadError(f"unknown segment kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """A generated thread: its segments in execution order, starting at
+    ``arrival`` (cycles; the paper's experiment launches all threads
+    together, arrival 0, but the runtime handles staggered invocation —
+    "threads can be invoked at runtime", §III)."""
+
+    tid: int
+    segments: tuple[Segment, ...]
+    arrival: int = 0
+
+    def cgra_fraction(self, nominal_ii: dict[str, int]) -> float:
+        """Fraction of nominal time spent on the CGRA."""
+        cpu = sum(s.cycles for s in self.segments if s.kind == "cpu")
+        acc = sum(
+            s.trip * nominal_ii[s.kernel] for s in self.segments if s.kind == "cgra"
+        )
+        total = cpu + acc
+        return acc / total if total else 0.0
+
+
+def generate_workload(
+    n_threads: int,
+    cgra_need: float,
+    kernels: Sequence[str],
+    nominal_ii: dict[str, int],
+    *,
+    seed: int = 0,
+    mean_total_work: int = 50_000,
+    phases_per_thread: int = 6,
+    jitter: float = 0.25,
+    mean_arrival_gap: int = 0,
+) -> list[ThreadSpec]:
+    """Generate *n_threads* independent random threads.
+
+    Each thread's total nominal work is ``mean_total_work`` +/- *jitter*;
+    it is split into ``phases_per_thread`` (CPU, CGRA) phase pairs of
+    random relative sizes, with the CGRA share fixed at *cgra_need* and
+    kernels drawn uniformly.  ``mean_arrival_gap > 0`` staggers thread
+    launches with exponential inter-arrival times (the paper launches all
+    threads at once, the default).
+    """
+    if not 0.0 < cgra_need < 1.0:
+        raise WorkloadError(f"cgra_need must be in (0,1), got {cgra_need}")
+    if n_threads < 1:
+        raise WorkloadError(f"n_threads must be >= 1, got {n_threads}")
+    if not kernels:
+        raise WorkloadError("kernel list is empty")
+    for k in kernels:
+        if k not in nominal_ii:
+            raise WorkloadError(f"no nominal II for kernel {k!r}")
+    rng = make_rng(seed)
+    threads: list[ThreadSpec] = []
+    arrival = 0
+    for tid in range(n_threads):
+        if mean_arrival_gap > 0 and tid > 0:
+            arrival += int(rng.exponential(mean_arrival_gap))
+        total = mean_total_work * (1.0 + jitter * (2 * rng.random() - 1.0))
+        cgra_work = total * cgra_need
+        cpu_work = total - cgra_work
+        # random phase weights, one pair per phase
+        w_cpu = rng.random(phases_per_thread) + 0.2
+        w_acc = rng.random(phases_per_thread) + 0.2
+        w_cpu /= w_cpu.sum()
+        w_acc /= w_acc.sum()
+        segments: list[Segment] = []
+        for p in range(phases_per_thread):
+            cpu_cycles = max(1, int(round(cpu_work * w_cpu[p])))
+            segments.append(Segment("cpu", cycles=cpu_cycles))
+            kernel = kernels[int(rng.integers(len(kernels)))]
+            ii = nominal_ii[kernel]
+            trip = max(1, int(round(cgra_work * w_acc[p] / ii)))
+            segments.append(Segment("cgra", kernel=kernel, trip=trip))
+        threads.append(ThreadSpec(tid, tuple(segments), arrival))
+    return threads

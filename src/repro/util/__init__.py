@@ -1,0 +1,27 @@
+"""Shared utilities: error types, seeded RNG helpers, table formatting."""
+
+from repro.util.errors import (
+    ReproError,
+    ArchitectureError,
+    GraphError,
+    MappingError,
+    ConstraintViolation,
+    TransformError,
+    SimulationError,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table, format_percent
+
+__all__ = [
+    "ReproError",
+    "ArchitectureError",
+    "GraphError",
+    "MappingError",
+    "ConstraintViolation",
+    "TransformError",
+    "SimulationError",
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+distinguish library failures from programming errors.  The hierarchy mirrors
+the package layout: architecture modelling, DFG construction, compilation
+(mapping), the compile-time paging constraints, the PageMaster runtime
+transformation, and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ArchitectureError(ReproError):
+    """Invalid CGRA architecture description (grid, pages, interconnect)."""
+
+
+class GraphError(ReproError):
+    """Invalid dataflow-graph construction or query."""
+
+
+class MappingError(ReproError):
+    """The compiler could not produce (or was handed) a valid mapping."""
+
+
+class ConstraintViolation(ReproError):
+    """A compile-time paging constraint (ring topology / register usage)
+    or a transformation output constraint was violated."""
+
+
+class TransformError(ReproError):
+    """The PageMaster transformation failed or was asked an illegal shrink."""
+
+
+class SimulationError(ReproError):
+    """The functional or system simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification for the system simulator."""

@@ -1,0 +1,117 @@
+"""Plain-text visualisation of mappings, page schedules and placements.
+
+Everything renders to strings (no plotting dependencies), in the style of
+the paper's figures: per-cycle grids of the PE array with op labels
+(Fig. 2b), the page-level schedule table (Fig. 6a), and PageMaster
+placement grids (Fig. 7).  Used by the examples and handy in a REPL::
+
+    print(viz.render_mapping(mapping))
+    print(viz.render_page_schedule(paged.page_schedule))
+    print(viz.render_placement(placement))
+"""
+
+from __future__ import annotations
+
+from repro.compiler.mapping import Mapping
+from repro.core.page_schedule import PageSchedule
+from repro.core.pagemaster import PagePlacement
+from repro.core.paging import PageLayout
+
+__all__ = [
+    "render_mapping",
+    "render_page_schedule",
+    "render_placement",
+    "render_layout",
+]
+
+
+def _cell_labels(mapping: Mapping) -> dict[tuple, str]:
+    labels: dict[tuple, str] = {}
+    for p in mapping.placements.values():
+        op = mapping.dfg.ops[p.op_id]
+        short = op.label[:6]
+        labels[(p.pe, p.time % mapping.ii)] = short
+    for r in mapping.routes.values():
+        for s in r.steps:
+            labels[(s.pe, s.time % mapping.ii)] = f"~e{r.edge_id}"
+    return labels
+
+
+def render_mapping(mapping: Mapping, *, max_slots: int | None = None) -> str:
+    """One PE-array grid per modulo slot, ops named, routes as ``~eN``."""
+    cgra = mapping.cgra
+    labels = _cell_labels(mapping)
+    width = max((len(v) for v in labels.values()), default=3) + 1
+    lines = [
+        f"mapping {mapping.dfg.name!r}: II={mapping.ii}, "
+        f"len={mapping.schedule_length}, util={mapping.pe_utilization():.2f}"
+    ]
+    slots = range(mapping.ii if max_slots is None else min(mapping.ii, max_slots))
+    for t in slots:
+        lines.append(f"-- modulo slot {t} --")
+        for r in range(cgra.rows):
+            row = []
+            for c in range(cgra.cols):
+                from repro.arch.interconnect import Coord
+
+                row.append(labels.get((Coord(r, c), t), ".").ljust(width))
+            lines.append(" ".join(row).rstrip())
+    return "\n".join(lines)
+
+
+def render_layout(layout: PageLayout) -> str:
+    """The page index of every PE — Fig. 4's picture."""
+    lines = [repr(layout)]
+    for r in range(layout.cgra.rows):
+        row = []
+        for c in range(layout.cgra.cols):
+            from repro.arch.interconnect import Coord
+
+            n = layout.page_of.get(Coord(r, c))
+            row.append(".." if n is None else f"{n:2d}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_page_schedule(schedule: PageSchedule) -> str:
+    """Fig. 6a-style table: items per page instance, pages as columns."""
+    lines = [schedule.summary()]
+    header = "time | " + " | ".join(
+        f"page {n}".center(10) for n in range(schedule.num_pages)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for t in range(schedule.ii):
+        cells = []
+        for n in range(schedule.num_pages):
+            inst = schedule.instance(n, t)
+            ops = sum(1 for i in inst.items if i.kind == "op")
+            routes = len(inst.items) - ops
+            if not inst.items:
+                cells.append("-".center(10))
+            else:
+                cells.append(f"{ops}op {routes}rt".center(10))
+        lines.append(f"{t:4d} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_placement(placement: PagePlacement, *, max_rows: int = 20) -> str:
+    """Fig. 7-style grid: which page instance occupies each (column, time)."""
+    lines = [placement.summary()]
+    rows = min(placement.makespan, max_rows)
+    grid = [["." for _ in range(placement.m)] for _ in range(placement.makespan)]
+    for (page, batch), (col, t) in placement.slots.items():
+        grid[t][col] = f"{page}@{batch % placement.ii_p}"
+    width = max(
+        (len(cell) for row in grid for cell in row if cell != "."), default=3
+    )
+    header = "time | " + " ".join(f"c{c}".ljust(width) for c in range(placement.m))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for t in range(rows):
+        lines.append(
+            f"{t:4d} | " + " ".join(cell.ljust(width) for cell in grid[t]).rstrip()
+        )
+    if placement.makespan > rows:
+        lines.append(f" ... ({placement.makespan - rows} more rows)")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import CGRA
+from repro.core.paging import PageLayout
+
+
+@pytest.fixture
+def cgra44() -> CGRA:
+    """The paper's smallest configuration: 4x4 mesh."""
+    return CGRA(4, 4, rf_depth=8)
+
+
+@pytest.fixture
+def cgra44_deep() -> CGRA:
+    """4x4 with a rotating file deep enough for single-page folds."""
+    return CGRA(4, 4, rf_depth=24)
+
+
+@pytest.fixture
+def layout44_q(cgra44_deep) -> PageLayout:
+    """4x4 divided into four 2x2 pages (Fig. 4 left)."""
+    return PageLayout(cgra44_deep, (2, 2))
+
+
+@pytest.fixture
+def layout44_c(cgra44_deep) -> PageLayout:
+    """4x4 divided into four 4x1 column pages (Fig. 4 right)."""
+    return PageLayout(cgra44_deep, (4, 1))

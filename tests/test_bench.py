@@ -1,0 +1,188 @@
+"""Tests for the experiment harness itself (profile cache, figure drivers,
+CLI registry) — using a small kernel subset so they stay fast."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.fig8 import page_sizes_for, render_fig8, run_fig8
+from repro.bench.fig9 import best_improvement, render_fig9, run_fig9
+from repro.bench.profiles import (
+    CACHE_VERSION,
+    ProfileStore,
+    build_profiles,
+    compile_kernel,
+    make_layout,
+)
+from repro.arch.cgra import CGRA
+
+FAST = ["sor", "laplace", "wavelet"]
+
+
+@pytest.fixture()
+def tmp_store(tmp_path):
+    return ProfileStore(path=tmp_path / "cache.json")
+
+
+class TestProfileStore:
+    def test_miss_then_hit(self, tmp_store):
+        p1 = compile_kernel("sor", 4, 4, store=tmp_store)
+        p2 = compile_kernel("sor", 4, 4, store=tmp_store)
+        assert p1 == p2
+        raw = json.loads(tmp_store.path.read_text())
+        assert raw["version"] == CACHE_VERSION
+        assert "sor/4x4/p4-square/s0" in raw["entries"]
+
+    def test_cache_survives_reload(self, tmp_store):
+        compile_kernel("sor", 4, 4, store=tmp_store)
+        fresh = ProfileStore(path=tmp_store.path)
+        assert fresh.get("sor", 4, 4, "square", 0) is not None
+
+    def test_version_mismatch_discards(self, tmp_store):
+        compile_kernel("sor", 4, 4, store=tmp_store)
+        raw = json.loads(tmp_store.path.read_text())
+        raw["version"] = -1
+        tmp_store.path.write_text(json.dumps(raw))
+        fresh = ProfileStore(path=tmp_store.path)
+        assert fresh.get("sor", 4, 4, "square", 0) is None
+
+    def test_corrupt_cache_tolerated(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        store = ProfileStore(path=path)
+        assert store.get("sor", 4, 4, "square", 0) is None
+
+    def test_profile_fields(self, tmp_store):
+        p = compile_kernel("sor", 4, 4, store=tmp_store)
+        assert p.name == "sor"
+        assert p.ii_base >= 1 and p.ii_paged >= 1
+        assert p.pages_used >= 1
+
+    def test_build_profiles_subset(self, tmp_store):
+        profs = build_profiles(4, 4, store=tmp_store, kernels=FAST)
+        assert set(profs) == set(FAST)
+
+
+class TestFigureDrivers:
+    def test_page_sizes_per_paper(self):
+        assert page_sizes_for(4) == [2, 4]
+        assert page_sizes_for(6) == [2, 4, 8]
+        assert page_sizes_for(8) == [2, 4, 8]
+
+    def test_fig8_rows_and_render(self, tmp_store):
+        rows = run_fig8(4, page_sizes=[4], store=tmp_store, kernels=FAST)
+        assert len(rows) == len(FAST)
+        text = render_fig8(4, rows)
+        assert "sor" in text and "average" in text
+
+    def test_fig9_cells_and_render(self, tmp_store):
+        cells = run_fig9(
+            4,
+            4,
+            store=tmp_store,
+            kernels=FAST,
+            repeats=1,
+            thread_counts=(1, 4),
+            needs=(0.5,),
+        )
+        assert len(cells) == 2
+        text = render_fig9(4, 4, cells)
+        assert "threads" in text
+        four = next(c for c in cells if c.n_threads == 4)
+        one = next(c for c in cells if c.n_threads == 1)
+        assert four.improvement > one.improvement
+        assert best_improvement(cells) == max(c.improvement for c in cells)
+
+    def test_fig9_empty_without_kernels(self, tmp_store):
+        assert run_fig9(4, 4, store=tmp_store, kernels=[]) == []
+
+    def test_make_layout_square(self):
+        lay = make_layout(CGRA(4, 4), 4)
+        assert lay.shape == (2, 2)
+
+
+class TestRegistry:
+    def test_all_experiments_named(self):
+        for name in (
+            "fig8_4x4",
+            "fig8_6x6",
+            "fig8_8x8",
+            "fig9_4x4",
+            "fig9_6x6",
+            "fig9_8x8",
+            "headline",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_run_experiment_uses_shared_cache(self):
+        # the repo-level cache is warm after the bench suite, so this is fast
+        out = run_experiment("fig8_4x4")
+        assert "Fig. 8" in out
+
+
+class TestReporting:
+    def test_fig8_records_roundtrip(self, tmp_store, tmp_path):
+        import json
+
+        from repro.bench.reporting import fig8_to_records, write_csv, write_json
+
+        rows = run_fig8(4, page_sizes=[4], store=tmp_store, kernels=FAST)
+        records = fig8_to_records(4, rows)
+        assert len(records) == len(FAST)
+        assert all(r["experiment"] == "fig8" for r in records)
+        jpath = write_json(records, tmp_path / "out.json")
+        assert json.loads(jpath.read_text()) == records
+        cpath = write_csv(records, tmp_path / "out.csv")
+        lines = cpath.read_text().strip().splitlines()
+        assert len(lines) == len(records) + 1
+        assert "kernel" in lines[0]
+
+    def test_fig9_records(self, tmp_store):
+        from repro.bench.reporting import fig9_to_records
+
+        cells = run_fig9(
+            4, 4, store=tmp_store, kernels=FAST, repeats=1,
+            thread_counts=(1, 2), needs=(0.5,),
+        )
+        records = fig9_to_records(4, 4, cells)
+        assert len(records) == 2
+        assert {r["threads"] for r in records} == {1, 2}
+
+    def test_empty_csv_rejected(self, tmp_path):
+        from repro.bench.reporting import write_csv
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            write_csv([], tmp_path / "e.csv")
+
+    def test_unmappable_marked(self, tmp_store):
+        from repro.bench.reporting import fig8_to_records
+        from repro.bench.fig8 import Fig8Row
+
+        rows = [Fig8Row("sobel", 4, {2: None, 4: 0.5})]
+        records = fig8_to_records(4, rows)
+        assert records[0]["mappable"] is False
+        assert records[1]["performance"] == 0.5
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.bench.experiments import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8_4x4" in out and "headline" in out
+
+    def test_single_experiment_with_json(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.experiments import main
+
+        out_path = tmp_path / "fig9.json"
+        assert main(["fig9_4x4", "--json", str(out_path)]) == 0
+        assert "Fig. 9" in capsys.readouterr().out
+        records = json.loads(out_path.read_text())
+        assert records and records[0]["experiment"] == "fig9"

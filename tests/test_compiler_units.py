@@ -1,0 +1,197 @@
+"""Unit tests for compiler building blocks: mapping model, reservation
+table, router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.arch.interconnect import Coord
+from repro.compiler.mapping import (
+    Mapping,
+    Placement,
+    Route,
+    RouteStep,
+    edge_gap,
+    materialized_edges,
+    materialized_ops,
+)
+from repro.compiler.mrt import ReservationTable
+from repro.compiler.routing import commit_route, find_route, release_route
+from repro.dfg.builder import DFGBuilder
+from repro.util.errors import MappingError
+
+
+def tiny_dfg():
+    b = DFGBuilder("tiny")
+    x = b.load("in")
+    y = b.add(x, b.const(1))
+    b.store("out", y)
+    return b.build()
+
+
+class TestMaterialization:
+    def test_consts_not_materialized(self):
+        g = tiny_dfg()
+        mat = materialized_ops(g)
+        assert len(mat) == g.num_ops - 1  # one const dropped
+
+    def test_const_edges_not_materialized(self):
+        g = tiny_dfg()
+        edges = materialized_edges(g)
+        assert len(edges) == g.num_edges - 1
+
+
+class TestReservationTable:
+    def test_claim_release_cycle(self, cgra44):
+        t = ReservationTable(cgra44, ii=2)
+        pe = Coord(0, 0)
+        t.claim(pe, 0, "a")
+        assert not t.slot_free(pe, 2)  # modulo II
+        t.release(pe, 0)
+        assert t.slot_free(pe, 2)
+
+    def test_double_claim_rejected(self, cgra44):
+        t = ReservationTable(cgra44, ii=2)
+        t.claim(Coord(1, 1), 3, "a")
+        with pytest.raises(MappingError):
+            t.claim(Coord(1, 1), 5, "b")  # same modulo slot
+
+    def test_bus_capacity_default_per_row(self, cgra44):
+        t = ReservationTable(cgra44, ii=1)
+        t.claim(Coord(0, 0), 0, "ld0", memory=True)
+        assert not t.bus_free(Coord(0, 3), 0)  # same row
+        assert t.bus_free(Coord(1, 0), 0)  # other row
+        with pytest.raises(MappingError):
+            t.claim(Coord(0, 1), 0, "ld1", memory=True)
+
+    def test_bus_release(self, cgra44):
+        t = ReservationTable(cgra44, ii=1)
+        t.claim(Coord(0, 0), 0, "ld", memory=True)
+        t.release(Coord(0, 0), 0, memory=True)
+        assert t.bus_free(Coord(0, 1), 0)
+
+    def test_custom_bus_key(self, cgra44):
+        t = ReservationTable(cgra44, ii=1, bus_key=lambda pe: pe.col % 2)
+        t.claim(Coord(0, 0), 0, "a", memory=True)
+        assert not t.bus_free(Coord(3, 2), 0)  # same segment (even col)
+        assert t.bus_free(Coord(3, 1), 0)
+
+    def test_release_unclaimed_rejected(self, cgra44):
+        t = ReservationTable(cgra44, ii=2)
+        with pytest.raises(MappingError):
+            t.release(Coord(0, 0), 0)
+
+    def test_copy_is_independent(self, cgra44):
+        t = ReservationTable(cgra44, ii=2)
+        t.claim(Coord(0, 0), 0, "a")
+        c = t.copy()
+        c.claim(Coord(0, 0), 1, "b")
+        assert t.slot_free(Coord(0, 0), 1)
+
+    def test_bad_ii(self, cgra44):
+        with pytest.raises(MappingError):
+            ReservationTable(cgra44, ii=0)
+
+
+class TestRouting:
+    def test_direct_link(self, cgra44):
+        mrt = ReservationTable(cgra44, ii=4)
+        steps = find_route(cgra44, mrt, Coord(0, 0), 0, Coord(0, 1), 1)
+        assert steps == ()
+
+    def test_direct_link_requires_adjacency(self, cgra44):
+        mrt = ReservationTable(cgra44, ii=4)
+        assert find_route(cgra44, mrt, Coord(0, 0), 0, Coord(3, 3), 1) is None
+
+    def test_non_causal_rejected(self, cgra44):
+        mrt = ReservationTable(cgra44, ii=4)
+        assert find_route(cgra44, mrt, Coord(0, 0), 5, Coord(0, 1), 5) is None
+
+    def test_multi_hop_route_times(self, cgra44):
+        mrt = ReservationTable(cgra44, ii=8)
+        steps = find_route(cgra44, mrt, Coord(0, 0), 0, Coord(3, 3), 6)
+        assert steps is not None and len(steps) == 5
+        assert [s.time for s in steps] == [1, 2, 3, 4, 5]
+        # chain is physically contiguous
+        holder = Coord(0, 0)
+        for s in steps:
+            assert cgra44.adjacent_or_same(s.pe, holder)
+            holder = s.pe
+        assert cgra44.adjacent_or_same(Coord(3, 3), holder)
+
+    def test_route_respects_occupancy(self, cgra44):
+        mrt = ReservationTable(cgra44, ii=2)
+        # block the entire escape neighbourhood of (0,0) at time 1 (mod 0 &
+        # 1 as needed)
+        for pe in [Coord(0, 0), Coord(0, 1), Coord(1, 0)]:
+            mrt.claim(pe, 1, "blocker")
+        steps = find_route(cgra44, mrt, Coord(0, 0), 0, Coord(0, 1), 4)
+        assert steps is None
+
+    def test_route_longer_than_ii_self_collision_avoided(self, cgra44):
+        # gap > II forces the DFS path not to reuse its own modulo slots
+        mrt = ReservationTable(cgra44, ii=2)
+        steps = find_route(cgra44, mrt, Coord(0, 0), 0, Coord(0, 0), 6)
+        assert steps is not None
+        used = {(s.pe, s.time % 2) for s in steps}
+        assert len(used) == len(steps)
+
+    def test_hop_filter_blocks(self, cgra44):
+        mrt = ReservationTable(cgra44, ii=4)
+        never = lambda a, b: False  # noqa: E731
+        assert (
+            find_route(cgra44, mrt, Coord(0, 0), 0, Coord(0, 1), 2, hop_allowed=never)
+            is None
+        )
+
+    def test_commit_and_release(self, cgra44):
+        mrt = ReservationTable(cgra44, ii=8)
+        steps = find_route(cgra44, mrt, Coord(0, 0), 0, Coord(2, 0), 4)
+        commit_route(mrt, 7, steps)
+        for s in steps:
+            assert not mrt.slot_free(s.pe, s.time)
+        release_route(mrt, steps)
+        for s in steps:
+            assert mrt.slot_free(s.pe, s.time)
+
+
+class TestMappingModel:
+    def test_edge_gap_with_distance(self):
+        g = tiny_dfg()
+        e = list(g.edges.values())[0]
+        assert edge_gap(e, t_src=3, t_dst=4, ii=2) == 1
+
+    def test_schedule_length_and_stages(self, cgra44):
+        g = tiny_dfg()
+        m = Mapping(cgra44, g, ii=2)
+        mat = materialized_ops(g)
+        for i, op_id in enumerate(mat):
+            m.placements[op_id] = Placement(op_id, Coord(0, i), i)
+        assert m.schedule_length == len(mat)
+        assert m.stage_count == 2  # ceil(3 / 2)
+
+    def test_placement_missing_raises(self, cgra44):
+        m = Mapping(cgra44, tiny_dfg(), ii=1)
+        with pytest.raises(MappingError):
+            m.placement(0)
+
+    def test_holder_before_prefers_route_tail(self, cgra44):
+        g = tiny_dfg()
+        m = Mapping(cgra44, g, ii=4)
+        e = [e for e in g.edges.values() if not g.ops[e.src].opcode.value == "const"][0]
+        m.placements[e.src] = Placement(e.src, Coord(0, 0), 0)
+        m.placements[e.dst] = Placement(e.dst, Coord(0, 2), 3)
+        m.routes[e.id] = Route(
+            e.id, (RouteStep(Coord(0, 1), 1), RouteStep(Coord(0, 2), 2))
+        )
+        holder, t = m.holder_before(e)
+        assert holder == Coord(0, 2) and t == 2
+
+    def test_invalid_ii(self, cgra44):
+        with pytest.raises(MappingError):
+            Mapping(cgra44, tiny_dfg(), ii=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(MappingError):
+            Placement(0, Coord(0, 0), -1)

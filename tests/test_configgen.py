@@ -1,0 +1,181 @@
+"""Tests for configuration generation (mapping -> per-PE config memory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.arch.config import ConfigTable, Immediate, ReadNeighbor, SlotConfig
+from repro.arch.interconnect import Coord
+from repro.arch.isa import Opcode
+from repro.compiler.configgen import generate_config, verify_config_against_mapping
+from repro.compiler.constraints import assert_register_constraint
+from repro.compiler.ems import map_dfg
+from repro.compiler.paged import map_dfg_paged
+from repro.core.paging import PageLayout
+from repro.kernels import bind_memory, get_kernel
+from repro.util.errors import MappingError
+
+KERNELS = ["mpeg", "sor", "wavelet", "swim"]
+
+
+@pytest.fixture(scope="module")
+def configs():
+    cgra = CGRA(4, 4, rf_depth=8)
+    out = {}
+    for name in KERNELS:
+        spec = get_kernel(name)
+        dfg, arrays, _ = spec.fresh(seed=0, trip=4)
+        m = map_dfg(dfg, cgra)
+        mem = bind_memory(arrays)
+        out[name] = (m, generate_config(m, mem))
+    return out
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_slots_match_mapping(self, configs, name):
+        m, table = configs[name]
+        verify_config_against_mapping(table, m)
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_register_usage_constraint_holds(self, configs, name):
+        _, table = configs[name]
+        assert_register_constraint(table)
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_const_operands_become_immediates(self, configs, name):
+        m, table = configs[name]
+        # every CONST op of the DFG appears as an Immediate somewhere
+        consts = {
+            op.immediate
+            for op in m.dfg.ops.values()
+            if op.opcode is Opcode.CONST
+        }
+        immediates = {
+            src.value
+            for slot in table.slots.values()
+            for src in slot.operands
+            if isinstance(src, Immediate)
+        }
+        assert consts <= immediates
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_memory_slots_have_addresses(self, configs, name):
+        _, table = configs[name]
+        for slot in table.slots.values():
+            if slot.opcode in (Opcode.LOAD, Opcode.STORE):
+                assert slot.addr is not None
+
+    def test_utilization_matches_mapping(self, configs):
+        m, table = configs["swim"]
+        assert table.utilization(16) == pytest.approx(m.pe_utilization())
+
+    def test_paged_mapping_configs_too(self):
+        cgra = CGRA(4, 4, rf_depth=16)
+        layout = PageLayout(cgra, (2, 2))
+        spec = get_kernel("gsr")
+        dfg, arrays, _ = spec.fresh(seed=0, trip=4)
+        pm = map_dfg_paged(dfg, cgra, layout)
+        table = generate_config(pm.mapping, bind_memory(arrays))
+        verify_config_against_mapping(table, pm.mapping)
+        assert_register_constraint(table)
+
+    def test_verify_catches_corruption(self, configs):
+        m, table = configs["mpeg"]
+        bad = ConfigTable(ii=table.ii, slots=dict(table.slots))
+        key = next(iter(bad.slots))
+        del bad.slots[key]
+        with pytest.raises(MappingError):
+            verify_config_against_mapping(bad, m)
+
+
+class TestConfigModel:
+    def test_slot_exclusive(self):
+        t = ConfigTable(ii=2)
+        c = SlotConfig("a", Opcode.CONST, immediate=1, start=0)
+        t.place(Coord(0, 0), c)
+        with pytest.raises(MappingError):
+            t.place(Coord(0, 0), SlotConfig("b", Opcode.CONST, immediate=2, start=2))
+
+    def test_at_lookup_modulo(self):
+        t = ConfigTable(ii=3)
+        c = SlotConfig("a", Opcode.CONST, immediate=1, start=1)
+        t.place(Coord(1, 1), c)
+        assert t.at(Coord(1, 1), 4) is c
+        assert t.at(Coord(1, 1), 0) is None
+
+    def test_slot_config_validation(self):
+        with pytest.raises(MappingError):
+            SlotConfig("x", Opcode.ADD, operands=(), start=0)  # arity
+        with pytest.raises(MappingError):
+            SlotConfig("x", Opcode.CONST, start=0)  # missing immediate
+        with pytest.raises(MappingError):
+            SlotConfig("x", Opcode.LOAD, start=0)  # missing address
+        with pytest.raises(MappingError):
+            SlotConfig("x", Opcode.CONST, immediate=1, start=-1)
+
+    def test_read_neighbor_delta_validated(self):
+        with pytest.raises(MappingError):
+            ReadNeighbor(Coord(0, 0), delta=0)
+
+
+class TestConfigDrivenExecution:
+    """The configuration memory alone must reproduce the kernel: an
+    independent execution path cross-checked against lowering + golden."""
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_config_execution_matches_golden(self, name):
+        import numpy as np
+
+        from repro.sim.cgra_sim import simulate
+        from repro.sim.config_exec import unroll_config
+
+        trip = 14
+        cgra = CGRA(4, 4, rf_depth=8)
+        spec = get_kernel(name)
+        dfg, arrays, expected = spec.fresh(seed=7, trip=trip)
+        m = map_dfg(dfg, cgra)
+        mem = bind_memory(arrays)
+        table = generate_config(m, mem)
+        res = simulate(unroll_config(table, trip), cgra, mem)
+        snap = mem.snapshot()
+        for arr in expected:
+            assert np.array_equal(snap[arr], expected[arr]), arr
+        assert res.firings > 0
+
+    def test_config_and_lowering_produce_same_firing_counts(self):
+        from repro.sim.config_exec import unroll_config
+        from repro.sim.lowering import lower_mapping
+
+        trip = 9
+        cgra = CGRA(4, 4, rf_depth=8)
+        spec = get_kernel("sor")
+        dfg, arrays, _ = spec.fresh(seed=1, trip=trip)
+        m = map_dfg(dfg, cgra)
+        mem = bind_memory(arrays)
+        table = generate_config(m, mem)
+        via_config = unroll_config(table, trip)
+        via_mapping = lower_mapping(m, mem, trip)
+        assert len(via_config) == len(via_mapping)
+        assert {(f.cycle, f.pe) for f in via_config} == {
+            (f.cycle, f.pe) for f in via_mapping
+        }
+
+    def test_zero_trip(self):
+        from repro.sim.config_exec import unroll_config
+
+        cgra = CGRA(4, 4)
+        spec = get_kernel("sor")
+        dfg, arrays, _ = spec.fresh(seed=1, trip=4)
+        m = map_dfg(dfg, cgra)
+        table = generate_config(m, bind_memory(arrays))
+        assert unroll_config(table, 0) == []
+
+    def test_negative_trip_rejected(self):
+        from repro.sim.config_exec import unroll_config
+        from repro.arch.config import ConfigTable
+        from repro.util.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            unroll_config(ConfigTable(ii=1), -1)

@@ -1,0 +1,157 @@
+"""Cycle-accurate space multiplexing: several PageMaster-shrunk kernels
+co-resident on ONE CGRA, executed together in a single simulation, each
+bit-exact against its own golden model.
+
+This is §V's key requirement made executable end-to-end: "threads are to
+be compiled independently of each other.  The generated CGRA schedules of
+different kernels can then be combined at runtime to be executed
+simultaneously."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.arch.memory import DataMemory
+from repro.compiler.constraints import paged_bus_key
+from repro.compiler.paged import map_dfg_paged
+from repro.core.pagemaster import PageMaster
+from repro.core.paging import PageLayout
+from repro.kernels import get_kernel
+from repro.sim.cgra_sim import simulate
+from repro.sim.lowering import lower_mapping
+from repro.sim.retarget import required_batches, retarget_firings
+
+TRIP = 16
+
+
+@pytest.fixture(scope="module")
+def cgra_and_layout():
+    cgra = CGRA(4, 4, rf_depth=24)
+    return cgra, PageLayout(cgra, (2, 2))
+
+
+def compile_thread(name, cgra, layout):
+    return map_dfg_paged(get_kernel(name).build(), cgra, layout)
+
+
+def thread_firings(pm, tid, target_pages, mem, *, trip=TRIP, start_cycle=0):
+    """Compile-independent thread: shrink onto its page segment and lower."""
+    spec = get_kernel(pm.mapping.dfg.name)
+    _, arrays, expected = spec.fresh(seed=100 + tid, trip=trip)
+    prefix = f"t{tid}/"
+    for aname in sorted(arrays):
+        mem.bind_array(prefix + aname, arrays[aname])
+    m_cols = len(target_pages)
+    placement = PageMaster(
+        pm.pages_used, pm.ii, m_cols, wrap_used=pm.wrap_used
+    ).place(batches=required_batches(pm.mapping, trip))
+    firings = retarget_firings(
+        pm,
+        placement,
+        target_pages,
+        mem,
+        trip,
+        rf_limit=64,
+        array_prefix=prefix,
+        start_cycle=start_cycle,
+        firing_tag=f"t{tid}",
+    )
+    return firings, expected, prefix
+
+
+def check_outputs(mem, dfg, expected, prefix):
+    for op in dfg.ops.values():
+        if op.memref is not None and op.opcode.value == "store":
+            got = mem.read_array(prefix + op.memref.array)
+            assert np.array_equal(got, expected[op.memref.array]), op.memref.array
+
+
+def test_two_threads_share_the_array(cgra_and_layout):
+    """sor (1 page need) and gsr (1 page need) run simultaneously on
+    disjoint halves; both outputs bit-exact, total runtime ~one kernel."""
+    cgra, layout = cgra_and_layout
+    mem = DataMemory(1 << 16)
+    a = compile_thread("sor", cgra, layout)
+    b = compile_thread("gsr", cgra, layout)
+    fa, ea, pa = thread_firings(a, 0, [0], mem)
+    fb, eb, pb = thread_firings(b, 1, [2], mem)
+    res = simulate(
+        fa + fb, cgra, mem, bus_key=paged_bus_key(layout), rf_depth=64
+    )
+    check_outputs(mem, a.mapping.dfg, ea, pa)
+    check_outputs(mem, b.mapping.dfg, eb, pb)
+    solo = simulate(
+        thread_firings(a, 0, [0], DataMemory(1 << 16))[0],
+        cgra,
+        DataMemory(1 << 16),
+        check_conflicts=False,
+    )
+    # co-residency costs (nearly) nothing: both finish within the longer
+    # solo runtime plus a pipeline fill
+    assert res.cycles <= solo.cycles + 8 * max(a.ii, b.ii)
+
+
+def test_four_threads_fill_the_array(cgra_and_layout):
+    cgra, layout = cgra_and_layout
+    mem = DataMemory(1 << 16)
+    names = ["sor", "gsr", "compress", "wavelet"]  # all 1-page kernels
+    compiled = [compile_thread(n, cgra, layout) for n in names]
+    assert all(pm.pages_used == 1 for pm in compiled)
+    all_firings = []
+    checks = []
+    for tid, pm in enumerate(compiled):
+        f, e, p = thread_firings(pm, tid, [tid], mem)
+        all_firings += f
+        checks.append((pm, e, p))
+    simulate(all_firings, cgra, mem, bus_key=paged_bus_key(layout), rf_depth=64)
+    for pm, e, p in checks:
+        check_outputs(mem, pm.mapping.dfg, e, p)
+
+
+def test_staggered_arrival(cgra_and_layout):
+    """A thread launched mid-run (start_cycle > 0) on the free half."""
+    cgra, layout = cgra_and_layout
+    mem = DataMemory(1 << 16)
+    a = compile_thread("sor", cgra, layout)
+    b = compile_thread("compress", cgra, layout)
+    fa, ea, pa = thread_firings(a, 0, [0, 1][: a.pages_used], mem)
+    fb, eb, pb = thread_firings(b, 1, [2], mem, start_cycle=37)
+    res = simulate(
+        fa + fb, cgra, mem, bus_key=paged_bus_key(layout), rf_depth=64
+    )
+    check_outputs(mem, a.mapping.dfg, ea, pa)
+    check_outputs(mem, b.mapping.dfg, eb, pb)
+    assert res.cycles > 37
+
+
+def test_shrunken_wide_kernel_plus_small_kernel(cgra_and_layout):
+    """A multi-page kernel shrunk to half the array while a one-page
+    kernel owns a page of the other half."""
+    cgra, layout = cgra_and_layout
+    mem = DataMemory(1 << 16)
+    wide = compile_thread("mpeg", cgra, layout)  # needs 3 pages
+    small = compile_thread("sor", cgra, layout)
+    assert wide.pages_used >= 2
+    fw, ew, pw = thread_firings(wide, 0, [0, 1], mem)  # shrunk to 2 pages
+    fs, es, ps = thread_firings(small, 1, [3], mem)
+    simulate(fw + fs, cgra, mem, bus_key=paged_bus_key(layout), rf_depth=64)
+    check_outputs(mem, wide.mapping.dfg, ew, pw)
+    check_outputs(mem, small.mapping.dfg, es, ps)
+
+
+def test_conflicting_segments_detected(cgra_and_layout):
+    """Overlapping target segments are a runtime bug; the simulator's
+    PE-exclusivity check catches the collision."""
+    from repro.util.errors import SimulationError
+
+    cgra, layout = cgra_and_layout
+    mem = DataMemory(1 << 16)
+    a = compile_thread("sor", cgra, layout)
+    b = compile_thread("gsr", cgra, layout)
+    fa, _, _ = thread_firings(a, 0, [0], mem)
+    fb, _, _ = thread_firings(b, 1, [0], mem)  # same page: illegal
+    with pytest.raises(SimulationError):
+        simulate(fa + fb, cgra, mem, bus_key=paged_bus_key(layout), rf_depth=64)

@@ -1,0 +1,114 @@
+"""Differential fuzzing: random kernels, mapped and simulated, must agree
+bit-exactly with the reference interpreter — through the baseline
+compiler, the paged compiler, and PageMaster shrinks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cgra import CGRA
+from repro.compiler.check import validate_mapping
+from repro.compiler.constraints import paged_bus_key
+from repro.compiler.ems import MapperConfig, map_dfg
+from repro.compiler.paged import map_dfg_paged
+from repro.core.pagemaster import PageMaster
+from repro.core.paging import PageLayout
+from repro.dfg.random_dfg import random_arrays, random_dfg
+from repro.dfg.validate import validate_dfg
+from repro.kernels.spec import bind_memory
+from repro.sim.cgra_sim import simulate
+from repro.sim.lowering import lower_mapping
+from repro.sim.reference import run_reference
+from repro.sim.retarget import required_batches, retarget_firings
+from repro.util.errors import MappingError
+
+TRIP = 12
+
+
+def reference_outputs(dfg, seed):
+    arrays = random_arrays(dfg, seed, TRIP)
+    expected = run_reference(dfg, {k: v.copy() for k, v in arrays.items()}, TRIP)
+    return arrays, expected
+
+
+def outputs_of(mem, dfg):
+    return {
+        op.memref.array: mem.read_array(op.memref.array)
+        for op in dfg.ops.values()
+        if op.memref is not None and op.opcode.value == "store"
+    }
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_property_random_dfgs_well_formed(seed):
+    dfg = random_dfg(seed, n_ops=int(5 + seed % 9))
+    validate_dfg(dfg)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_property_baseline_map_simulate_equals_reference(seed):
+    dfg = random_dfg(seed, n_ops=int(4 + seed % 8))
+    cgra = CGRA(4, 4, rf_depth=8)
+    try:
+        m = map_dfg(dfg, cgra, config=MapperConfig(max_ii=10, attempts_per_ii=2))
+    except MappingError:
+        return  # rare congested case: not a correctness failure
+    validate_mapping(m)
+    arrays, expected = reference_outputs(dfg, seed)
+    mem = bind_memory(arrays)
+    simulate(lower_mapping(m, mem, TRIP), cgra, mem)
+    for name, data in outputs_of(mem, dfg).items():
+        assert np.array_equal(data, expected[name]), name
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_property_paged_and_shrunk_equal_reference(seed):
+    dfg = random_dfg(seed, n_ops=int(4 + seed % 6))
+    cgra = CGRA(4, 4, rf_depth=24)
+    layout = PageLayout(cgra, (2, 2))
+    try:
+        pm = map_dfg_paged(
+            dfg, cgra, layout, config=MapperConfig(max_ii=10, attempts_per_ii=2)
+        )
+    except MappingError:
+        return
+    arrays, expected = reference_outputs(dfg, seed)
+    bk = paged_bus_key(pm.layout)
+
+    mem = bind_memory({k: v.copy() for k, v in arrays.items()})
+    simulate(lower_mapping(pm.mapping, mem, TRIP), cgra, mem, bus_key=bk)
+    for name, data in outputs_of(mem, dfg).items():
+        assert np.array_equal(data, expected[name]), ("paged", name)
+
+    for m_cols in {1, max(1, pm.pages_used // 2), pm.pages_used}:
+        placement = PageMaster(
+            pm.pages_used, pm.ii, m_cols, wrap_used=pm.wrap_used
+        ).place(batches=required_batches(pm.mapping, TRIP))
+        mem2 = bind_memory({k: v.copy() for k, v in arrays.items()})
+        firings = retarget_firings(
+            pm, placement, list(range(m_cols)), mem2, TRIP, rf_limit=64
+        )
+        simulate(firings, cgra, mem2, bus_key=bk, rf_depth=64)
+        for name, data in outputs_of(mem2, dfg).items():
+            assert np.array_equal(data, expected[name]), ("shrunk", m_cols, name)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 99, 256, 1024])
+def test_known_seeds_full_pipeline(seed):
+    """Deterministic regression points through the whole pipeline."""
+    dfg = random_dfg(seed, n_ops=8, n_outputs=2)
+    validate_dfg(dfg)
+    cgra = CGRA(4, 4, rf_depth=24)
+    m = map_dfg(dfg, cgra)
+    validate_mapping(m)
+    arrays, expected = reference_outputs(dfg, seed)
+    mem = bind_memory(arrays)
+    simulate(lower_mapping(m, mem, TRIP), cgra, mem)
+    for name, data in outputs_of(mem, dfg).items():
+        assert np.array_equal(data, expected[name])

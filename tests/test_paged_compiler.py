@@ -1,0 +1,157 @@
+"""Paged compiler tests: the §VI-B constraints hold, page schedules are
+ring-consistent, page need is minimised, and constrained mappings stay
+functionally correct."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.compiler.check import validate_mapping
+from repro.compiler.constraints import (
+    assert_register_constraint,
+    paged_bus_key,
+    register_usage_report,
+    ring_hop_filter,
+)
+from repro.compiler.paged import map_dfg_paged
+from repro.core.paging import PageLayout
+from repro.kernels import bind_memory, get_kernel
+from repro.sim.cgra_sim import simulate
+from repro.sim.lowering import lower_mapping
+from repro.util.errors import ConstraintViolation, MappingError
+
+FAST = ["mpeg", "sor", "laplace", "wavelet", "swim", "compress", "gsr"]
+
+
+@pytest.fixture(scope="module")
+def paged44():
+    cgra = CGRA(4, 4, rf_depth=20)
+    layout = PageLayout(cgra, (2, 2))
+    out = {}
+    for name in FAST:
+        out[name] = map_dfg_paged(get_kernel(name).build(), cgra, layout)
+    return cgra, layout, out
+
+
+class TestConstraints:
+    def test_ring_consistency_validated(self, paged44):
+        _, _, mapped = paged44
+        for name, pm in mapped.items():
+            pm.page_schedule.validate_ring()
+
+    def test_mapping_validates_with_hop_filter(self, paged44):
+        cgra, _, mapped = paged44
+        for name, pm in mapped.items():
+            hop = ring_hop_filter(pm.layout)
+            validate_mapping(
+                pm.mapping,
+                allowed_pes=list(pm.layout.page_of),
+                hop_allowed=hop,
+                bus_key=paged_bus_key(pm.layout),
+            )
+
+    def test_all_deps_forward_in_ring(self, paged44):
+        _, _, mapped = paged44
+        for name, pm in mapped.items():
+            for (src, dst, kind) in pm.page_schedule.deps:
+                if kind == "ring":
+                    assert dst[0] == pm.layout.ring_succ(src[0])
+                else:
+                    assert dst[0] == src[0]
+
+    def test_register_usage_constraint(self, paged44):
+        """Every transfer is an explicit per-cycle slot (depth-1 reads)."""
+        _, _, mapped = paged44
+        from repro.sim.lowering import ResolvedRead
+
+        for name, pm in mapped.items():
+            spec = get_kernel(name)
+            _, arrays, _ = spec.fresh(seed=0, trip=5)
+            mem = bind_memory(arrays)
+            for f in lower_mapping(pm.mapping, mem, 5):
+                for src in f.operands:
+                    if isinstance(src, ResolvedRead):
+                        assert f.cycle - src.cycle == 1, name
+
+    def test_register_usage_report_counts(self, paged44):
+        _, _, mapped = paged44
+        rep = register_usage_report(mapped["sor"].mapping)
+        assert rep["self_holds"] >= 0 and rep["move_hops"] >= 0
+
+    def test_assert_register_constraint_on_config(self):
+        from repro.arch.config import ConfigTable, ReadNeighbor, SlotConfig
+        from repro.arch.interconnect import Coord
+        from repro.arch.isa import Opcode
+
+        table = ConfigTable(ii=2)
+        table.place(
+            Coord(0, 0),
+            SlotConfig(
+                "bad",
+                Opcode.ROUTE,
+                operands=(ReadNeighbor(Coord(0, 1), delta=3),),
+                start=1,
+            ),
+        )
+        with pytest.raises(ConstraintViolation):
+            assert_register_constraint(table)
+
+
+class TestPageNeed:
+    def test_recurrence_kernels_need_one_page(self, paged44):
+        """§IV: recurrence-bound kernels cannot use a big array; the
+        compiler packs them into a single page at unchanged II."""
+        _, _, mapped = paged44
+        for name in ("sor", "compress", "gsr"):
+            assert mapped[name].pages_used == 1, name
+
+    def test_pages_used_le_total(self, paged44):
+        _, layout, mapped = paged44
+        for name, pm in mapped.items():
+            assert 1 <= pm.pages_used <= layout.num_pages
+
+    def test_activity_shape(self, paged44):
+        _, _, mapped = paged44
+        for name, pm in mapped.items():
+            act = pm.activity()
+            assert len(act) == pm.pages_used
+            assert all(len(row) == pm.ii for row in act)
+            assert any(any(row) for row in act)
+
+    def test_minimize_pages_off_uses_full_layout(self):
+        cgra = CGRA(4, 4)
+        layout = PageLayout(cgra, (2, 2))
+        pm = map_dfg_paged(
+            get_kernel("sor").build(), cgra, layout, minimize_pages=False
+        )
+        assert pm.layout.num_pages == 4
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("name", FAST)
+    def test_paged_mapping_computes_correctly(self, paged44, name):
+        cgra, _, mapped = paged44
+        pm = mapped[name]
+        spec = get_kernel(name)
+        _, arrays, expected = spec.fresh(seed=9, trip=18)
+        mem = bind_memory(arrays)
+        simulate(
+            lower_mapping(pm.mapping, mem, 18),
+            cgra,
+            mem,
+            bus_key=paged_bus_key(pm.layout),
+        )
+        snap = mem.snapshot()
+        for arr in expected:
+            assert np.array_equal(snap[arr], expected[arr]), arr
+
+
+class TestLayoutMismatch:
+    def test_wrong_cgra_rejected(self):
+        cgra_a = CGRA(4, 4)
+        cgra_b = CGRA(4, 4)
+        layout = PageLayout(cgra_a, (2, 2))
+        with pytest.raises(MappingError):
+            map_dfg_paged(get_kernel("sor").build(), cgra_b, layout)

@@ -1,0 +1,210 @@
+"""Tests for the multithreading runtime: allocation policies and the
+CGRA manager (§VII-B thread arrival/departure protocol)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    Allocation,
+    FairSharePolicy,
+    HalvingPolicy,
+    StaticEqualPolicy,
+)
+from repro.core.runtime import CGRAManager
+from repro.util.errors import ReproError
+
+
+class TestAllocation:
+    def test_pages_enumeration(self):
+        a = Allocation(2, 3)
+        assert a.pages == (2, 3, 4)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Allocation(0, 0)
+        with pytest.raises(ReproError):
+            Allocation(-1, 2)
+
+
+class TestHalvingPolicy:
+    def test_first_thread_gets_everything(self):
+        mgr = CGRAManager(8, HalvingPolicy())
+        mgr.request(0)
+        assert mgr.allocation_of(0) == Allocation(0, 8)
+
+    def test_second_thread_halves_the_first(self):
+        """§VII-B: "the thread using the most pages is decreased to use
+        half as many pages and the new thread is resized to fit"."""
+        mgr = CGRAManager(8, HalvingPolicy())
+        mgr.request(0)
+        events = mgr.request(1)
+        assert mgr.allocation_of(0).length == 4
+        assert mgr.allocation_of(1).length == 4
+        assert any(e.tid == 0 for e in events)
+
+    def test_four_threads_converge_to_quarters(self):
+        mgr = CGRAManager(8, HalvingPolicy())
+        for t in range(4):
+            mgr.request(t)
+        lengths = sorted(a.length for a in mgr.residents.values())
+        assert lengths == [2, 2, 2, 2]
+
+    def test_queueing_when_saturated(self):
+        mgr = CGRAManager(2, HalvingPolicy())
+        for t in range(3):
+            mgr.request(t)
+        assert mgr.allocation_of(2) is None
+        assert mgr.queue == [2]
+
+    def test_release_expands_neighbour(self):
+        mgr = CGRAManager(8, HalvingPolicy())
+        mgr.request(0)
+        mgr.request(1)
+        mgr.release(0)
+        assert mgr.allocation_of(1).length == 8
+
+    def test_release_admits_queued(self):
+        mgr = CGRAManager(2, HalvingPolicy())
+        for t in range(3):
+            mgr.request(t)
+        mgr.release(0)
+        assert mgr.allocation_of(2) is not None
+
+    def test_allocations_always_disjoint_and_contiguous(self):
+        mgr = CGRAManager(16, HalvingPolicy())
+        for t in range(10):
+            mgr.request(t)
+        taken = []
+        for a in mgr.residents.values():
+            taken.extend(a.pages)
+        assert len(taken) == len(set(taken))
+
+    @given(st.lists(st.sampled_from(["req", "rel"]), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_property_manager_invariants(self, script):
+        """Random arrival/departure scripts never violate pool invariants
+        (the manager itself re-checks disjointness after every change)."""
+        mgr = CGRAManager(8, HalvingPolicy())
+        next_tid = 0
+        live: list[int] = []
+        for action in script:
+            if action == "req":
+                mgr.request(next_tid)
+                live.append(next_tid)
+                next_tid += 1
+            elif live:
+                mgr.release(live.pop(0))
+        # every live thread is either resident or queued
+        for t in live:
+            assert (mgr.allocation_of(t) is not None) or (t in mgr.queue)
+
+
+class TestFairShare:
+    def test_even_split(self):
+        mgr = CGRAManager(9, FairSharePolicy())
+        for t in range(3):
+            mgr.request(t)
+        assert sorted(a.length for a in mgr.residents.values()) == [3, 3, 3]
+
+    def test_remainder_distributed(self):
+        mgr = CGRAManager(8, FairSharePolicy())
+        for t in range(3):
+            mgr.request(t)
+        assert sorted(a.length for a in mgr.residents.values()) == [2, 3, 3]
+
+    def test_release_rebalances(self):
+        mgr = CGRAManager(8, FairSharePolicy())
+        for t in range(4):
+            mgr.request(t)
+        mgr.release(0)
+        assert sorted(a.length for a in mgr.residents.values()) == [2, 3, 3]
+
+
+class TestStaticEqual:
+    def test_fixed_slices(self):
+        mgr = CGRAManager(8, StaticEqualPolicy(4))
+        for t in range(4):
+            mgr.request(t)
+        assert sorted(a.length for a in mgr.residents.values()) == [2, 2, 2, 2]
+
+    def test_no_resizing_on_release(self):
+        mgr = CGRAManager(8, StaticEqualPolicy(4))
+        for t in range(4):
+            mgr.request(t)
+        mgr.release(0)
+        assert sorted(a.length for a in mgr.residents.values()) == [2, 2, 2]
+
+    def test_overflow_queues(self):
+        mgr = CGRAManager(8, StaticEqualPolicy(2))
+        for t in range(3):
+            mgr.request(t)
+        assert mgr.allocation_of(2) is None
+
+    def test_max_threads_validated(self):
+        with pytest.raises(ReproError):
+            StaticEqualPolicy(0)
+
+
+class TestManagerErrors:
+    def test_double_request_rejected(self):
+        mgr = CGRAManager(4)
+        mgr.request(0)
+        with pytest.raises(ReproError):
+            mgr.request(0)
+
+    def test_unknown_release_rejected(self):
+        mgr = CGRAManager(4)
+        with pytest.raises(ReproError):
+            mgr.release(42)
+
+    def test_queued_release(self):
+        mgr = CGRAManager(1)
+        mgr.request(0)
+        mgr.request(1)  # queued
+        assert mgr.release(1) == []
+        assert mgr.queue == []
+
+    def test_reallocation_counters(self):
+        mgr = CGRAManager(8, HalvingPolicy())
+        mgr.request(0)
+        mgr.request(1)
+        assert mgr.threads[0].reallocations == 2  # initial + halving
+
+
+class TestNeedAwareHalving:
+    def test_grant_trimmed_to_need(self):
+        from repro.core.policies import NeedAwareHalvingPolicy
+
+        mgr = CGRAManager(8, NeedAwareHalvingPolicy())
+        mgr.request(0, need=2)
+        assert mgr.allocation_of(0).length == 2  # not all 8
+
+    def test_surplus_serves_next_arrival_without_shrinking(self):
+        from repro.core.policies import NeedAwareHalvingPolicy
+
+        mgr = CGRAManager(8, NeedAwareHalvingPolicy())
+        mgr.request(0, need=2)
+        events = mgr.request(1, need=4)
+        # thread 0 untouched: the newcomer fits in the free surplus
+        assert mgr.allocation_of(0).length == 2
+        assert mgr.allocation_of(1).length == 4
+        assert all(e.tid != 0 for e in events)
+
+    def test_falls_back_to_halving_without_needs(self):
+        from repro.core.policies import NeedAwareHalvingPolicy
+
+        mgr = CGRAManager(8, NeedAwareHalvingPolicy())
+        mgr.request(0)
+        assert mgr.allocation_of(0).length == 8
+
+    def test_release_expansion_respects_need(self):
+        from repro.core.policies import NeedAwareHalvingPolicy
+
+        mgr = CGRAManager(4, NeedAwareHalvingPolicy())
+        mgr.request(0, need=1)
+        mgr.request(1, need=4)
+        mgr.release(1)
+        assert mgr.allocation_of(0).length == 1  # never grown past its need

@@ -1,0 +1,252 @@
+"""Unit tests for the cycle-accurate simulator core and lowering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.arch.config import AddressPattern
+from repro.arch.interconnect import Coord
+from repro.arch.isa import Opcode
+from repro.arch.memory import DataMemory
+from repro.sim.cgra_sim import simulate
+from repro.sim.lowering import Firing, GlobalSlot, ResolvedRead, resolve_addr
+from repro.sim.reference import run_reference
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.graph import MemRef
+from repro.util.errors import SimulationError
+
+
+def F(cycle, pe, opcode, label="f", **kw):
+    return Firing(cycle=cycle, pe=pe, label=label, opcode=opcode, **kw)
+
+
+class TestSimulatorContracts:
+    def test_pe_double_booking_rejected(self, cgra44):
+        mem = DataMemory(64)
+        firings = [
+            F(0, Coord(0, 0), Opcode.CONST, "a", immediate=1),
+            F(0, Coord(0, 0), Opcode.CONST, "b", immediate=2),
+        ]
+        with pytest.raises(SimulationError):
+            simulate(firings, cgra44, mem)
+
+    def test_bus_capacity_enforced(self, cgra44):
+        mem = DataMemory(64)
+        mem.bind_array("x", [1, 2, 3, 4])
+        firings = [
+            F(0, Coord(0, 0), Opcode.LOAD, "l0", addr=0),
+            F(0, Coord(0, 1), Opcode.LOAD, "l1", addr=1),
+        ]
+        with pytest.raises(SimulationError):
+            simulate(firings, cgra44, mem)
+        # different rows: fine
+        ok = [
+            F(0, Coord(0, 0), Opcode.LOAD, "l0", addr=0),
+            F(0, Coord(1, 0), Opcode.LOAD, "l1", addr=1),
+        ]
+        res = simulate(ok, cgra44, DataMemoryWith(mem))
+        assert res.loads == 2
+
+    def test_custom_bus_key(self, cgra44):
+        mem = DataMemory(64)
+        mem.bind_array("x", [1, 2])
+        firings = [
+            F(0, Coord(0, 0), Opcode.LOAD, "l0", addr=0),
+            F(0, Coord(0, 3), Opcode.LOAD, "l1", addr=1),
+        ]
+        res = simulate(firings, cgra44, mem, bus_key=lambda pe: pe.col)
+        assert res.loads == 2
+
+    def test_read_of_future_value_rejected(self, cgra44):
+        mem = DataMemory(64)
+        firings = [
+            F(0, Coord(0, 0), Opcode.CONST, "c", immediate=5),
+            F(
+                1,
+                Coord(0, 1),
+                Opcode.ROUTE,
+                "r",
+                operands=(ResolvedRead(Coord(0, 0), 1),),
+            ),
+        ]
+        with pytest.raises(SimulationError):
+            simulate(firings, cgra44, mem)
+
+    def test_read_of_never_produced_rejected(self, cgra44):
+        mem = DataMemory(64)
+        firings = [
+            F(
+                1,
+                Coord(0, 1),
+                Opcode.ROUTE,
+                "r",
+                operands=(ResolvedRead(Coord(3, 3), 0),),
+            ),
+        ]
+        with pytest.raises(SimulationError):
+            simulate(firings, cgra44, mem)
+
+    def test_rf_depth_enforced(self, cgra44):
+        mem = DataMemory(64)
+        firings = [F(c, Coord(0, 0), Opcode.CONST, f"c{c}", immediate=c) for c in range(6)]
+        firings.append(
+            F(
+                9,
+                Coord(0, 1),
+                Opcode.ROUTE,
+                "deep",
+                operands=(ResolvedRead(Coord(0, 0), 0),),
+            )
+        )
+        with pytest.raises(SimulationError):
+            simulate(firings, cgra44, mem, rf_depth=3)
+        res = simulate(firings, cgra44, mem, rf_depth=6)
+        assert res.rf_max_depth_used == 6
+
+    def test_load_store_hazard_same_cycle(self, cgra44):
+        mem = DataMemory(64)
+        mem.bind_array("x", [7])
+        firings = [
+            F(0, Coord(0, 0), Opcode.CONST, "v", immediate=9),
+            F(
+                1,
+                Coord(0, 0),
+                Opcode.STORE,
+                "st",
+                operands=(ResolvedRead(Coord(0, 0), 0),),
+                addr=0,
+            ),
+            F(1, Coord(1, 0), Opcode.LOAD, "ld", addr=0),
+        ]
+        with pytest.raises(SimulationError):
+            simulate(firings, cgra44, mem)
+
+    def test_double_store_same_address_rejected(self, cgra44):
+        mem = DataMemory(64)
+        mem.bind_array("x", [0])
+        firings = [
+            F(0, Coord(0, 0), Opcode.CONST, "v", immediate=1),
+            F(
+                1,
+                Coord(0, 0),
+                Opcode.STORE,
+                "s1",
+                operands=(ResolvedRead(Coord(0, 0), 0),),
+                addr=0,
+            ),
+            F(
+                1,
+                Coord(1, 0),
+                Opcode.STORE,
+                "s2",
+                operands=(ResolvedRead(Coord(0, 0), 0),),
+                addr=0,
+            ),
+        ]
+        with pytest.raises(SimulationError):
+            simulate(firings, cgra44, mem)
+
+    def test_global_slot_roundtrip(self, cgra44):
+        mem = DataMemory(64)
+        slot = GlobalSlot(3, 0)
+        firings = [
+            F(
+                0,
+                Coord(0, 0),
+                Opcode.CONST,
+                "p",
+                immediate=42,
+                global_writes=(slot,),
+            ),
+            F(5, Coord(3, 3), Opcode.ROUTE, "c", operands=(slot,)),
+        ]
+        res = simulate(firings, cgra44, mem)
+        assert res.global_writes == 1 and res.global_reads == 1
+
+    def test_global_read_before_write_rejected(self, cgra44):
+        mem = DataMemory(64)
+        firings = [
+            F(0, Coord(0, 0), Opcode.ROUTE, "c", operands=(GlobalSlot(1, 0),)),
+        ]
+        with pytest.raises(SimulationError):
+            simulate(firings, cgra44, mem)
+
+    def test_negative_cycle_rejected(self, cgra44):
+        mem = DataMemory(64)
+        with pytest.raises(SimulationError):
+            simulate([F(-1, Coord(0, 0), Opcode.CONST, immediate=0)], cgra44, mem)
+
+    def test_utilization_metric(self, cgra44):
+        mem = DataMemory(64)
+        firings = [F(0, Coord(0, 0), Opcode.CONST, "c", immediate=0)]
+        res = simulate(firings, cgra44, mem)
+        assert res.utilization(cgra44) == pytest.approx(1 / 16)
+
+
+def DataMemoryWith(src):  # tiny helper: fresh memory with same arrays
+    mem = DataMemory(src.size)
+    for name, arr in src.snapshot().items():
+        mem.bind_array(name, arr)
+    return mem
+
+
+class TestAddressing:
+    def test_address_pattern_affine(self):
+        p = AddressPattern(base=100, stride=3, offset=2)
+        assert p.resolve(0) == 102
+        assert p.resolve(5) == 117
+
+    def test_address_pattern_ring(self):
+        p = AddressPattern(base=10, stride=1, offset=0, ring=4)
+        assert [p.resolve(i) for i in range(6)] == [10, 11, 12, 13, 10, 11]
+
+    def test_resolve_addr_bounds(self):
+        mem = DataMemory(64)
+        mem.bind_array("a", [0] * 4)
+        assert resolve_addr(MemRef("a", stride=1, offset=0), 3, mem) == 3
+        with pytest.raises(SimulationError):
+            resolve_addr(MemRef("a", stride=1, offset=0), 4, mem)
+        with pytest.raises(SimulationError):
+            resolve_addr(MemRef("missing"), 0, mem)
+
+
+class TestReferenceInterpreter:
+    def test_negative_trip_rejected(self):
+        b = DFGBuilder("t")
+        b.store("out", b.load("in"))
+        g = b.build()
+        with pytest.raises(SimulationError):
+            run_reference(g, {"in": np.zeros(1), "out": np.zeros(1)}, -1)
+
+    def test_out_of_bounds_index_rejected(self):
+        b = DFGBuilder("t")
+        b.store("out", b.load("in", offset=10))
+        g = b.build()
+        arrays = {
+            "in": np.zeros(4, dtype=np.int64),
+            "out": np.zeros(4, dtype=np.int64),
+        }
+        with pytest.raises(SimulationError):
+            run_reference(g, arrays, 1)
+
+    def test_unbound_array_rejected(self):
+        b = DFGBuilder("t")
+        b.store("out", b.load("nope"))
+        g = b.build()
+        with pytest.raises(SimulationError):
+            run_reference(g, {"out": np.zeros(1, dtype=np.int64)}, 1)
+
+    def test_carry_inits_used(self):
+        b = DFGBuilder("t")
+        ph = b.placeholder("prev")
+        b.store("out", ph)
+        b.bind_carry(ph, b.load("in"), distance=2, init=(100, 200))
+        g = b.build()
+        arrays = {
+            "in": np.arange(5, dtype=np.int64),
+            "out": np.zeros(5, dtype=np.int64),
+        }
+        run_reference(g, arrays, 5)
+        assert list(arrays["out"]) == [100, 200, 0, 1, 2]

@@ -1,0 +1,91 @@
+"""Unit tests for repro.util: RNG determinism, table formatting, errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ReproError, SimulationError
+from repro.util.rng import choice_weighted, derive_seed, make_rng, spawn_rngs
+from repro.util.tables import format_grid, format_percent, format_table
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        a = make_rng(42).integers(0, 1 << 30, 10)
+        b = make_rng(42).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1 << 30, 10)
+        b = make_rng(2).integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_make_rng_passthrough(self):
+        g = make_rng(7)
+        assert make_rng(g) is g
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(5, "fig8", 3) == derive_seed(5, "fig8", 3)
+
+    def test_derive_seed_streams_independent(self):
+        assert derive_seed(5, "a") != derive_seed(5, "b")
+        assert derive_seed(5, 1) != derive_seed(5, 2)
+
+    def test_spawn_rngs_count_and_independence(self):
+        rngs = spawn_rngs(9, 4)
+        assert len(rngs) == 4
+        draws = [r.integers(0, 1 << 30) for r in rngs]
+        assert len(set(int(d) for d in draws)) > 1
+
+    def test_spawn_rngs_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_choice_weighted_validates(self):
+        rng = make_rng(0)
+        with pytest.raises(ValueError):
+            choice_weighted(rng, ["a", "b"], [1.0])
+        with pytest.raises(ValueError):
+            choice_weighted(rng, ["a"], [-1.0])
+        with pytest.raises(ValueError):
+            choice_weighted(rng, ["a"], [0.0])
+
+    def test_choice_weighted_degenerate(self):
+        rng = make_rng(0)
+        picks = {choice_weighted(rng, ["x", "y"], [0.0, 3.0]) for _ in range(20)}
+        assert picks == {"y"}
+
+
+class TestTables:
+    def test_format_percent(self):
+        assert format_percent(1.0) == "100.0%"
+        assert format_percent(0.375, digits=2) == "37.50%"
+
+    def test_format_table_basic(self):
+        s = format_table(["name", "ii"], [["mpeg", 3], ["sor", 4]])
+        lines = s.splitlines()
+        assert "name" in lines[0] and "ii" in lines[0]
+        assert "mpeg" in lines[2]
+        assert len(lines) == 4
+
+    def test_format_table_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_table_title(self):
+        s = format_table(["a"], [[1]], title="T")
+        assert s.splitlines()[0] == "T"
+
+    def test_format_grid(self):
+        g = {(1, "x"): 10, (2, "x"): 20, (1, "y"): 30}
+        s = format_grid(g, row_label="threads")
+        assert "threads" in s
+        assert "-" in s  # missing (2, "y") cell
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(SimulationError, ReproError)
+        with pytest.raises(ReproError):
+            raise SimulationError("boom")
