@@ -13,7 +13,7 @@ from __future__ import annotations
 from statistics import mean
 
 from conftest import emit
-from repro.bench.profiles import build_profiles
+from repro.pipeline import build_profiles
 from repro.sim.system import SystemConfig, improvement, simulate_system
 from repro.sim.workload import generate_workload
 from repro.util.rng import derive_seed

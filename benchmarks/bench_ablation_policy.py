@@ -13,7 +13,7 @@ from __future__ import annotations
 from statistics import mean
 
 from conftest import emit
-from repro.bench.profiles import build_profiles
+from repro.pipeline import build_profiles
 from repro.core.policies import (
     FairSharePolicy,
     HalvingPolicy,

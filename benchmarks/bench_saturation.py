@@ -14,7 +14,7 @@ from __future__ import annotations
 from statistics import mean
 
 from conftest import emit
-from repro.bench.profiles import build_profiles
+from repro.pipeline import build_profiles
 from repro.core.paging import PageLayout, choose_page_shape
 from repro.arch.cgra import CGRA
 from repro.sim.system import SystemConfig, improvement, simulate_system

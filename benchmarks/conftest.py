@@ -2,19 +2,20 @@
 
 Every bench target regenerates one of the paper's tables/figures and
 prints the series it produces; compilation results are memoised in the
-repository-level profile cache so repeated runs are fast.
+repository-level artifact store (:mod:`repro.pipeline`) so repeated runs
+are fast.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bench.profiles import ProfileStore
+from repro.pipeline import ArtifactStore
 
 
 @pytest.fixture(scope="session")
-def store() -> ProfileStore:
-    return ProfileStore()
+def store() -> ArtifactStore:
+    return ArtifactStore()
 
 
 def emit(text: str) -> None:

@@ -9,14 +9,14 @@ Run:  python examples/constraint_study.py [size]
 import sys
 
 from repro.bench.fig8 import page_sizes_for, render_fig8, run_fig8
-from repro.bench.profiles import ProfileStore, compile_kernel
 from repro.kernels import kernel_names
+from repro.pipeline import ArtifactStore, compile_kernel
 from repro.util.tables import format_table
 
 
 def main() -> None:
     size = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-    store = ProfileStore()
+    store = ArtifactStore()
 
     print(f"compiling the 11-kernel suite for a {size}x{size} CGRA ...\n")
     rows = run_fig8(size, store=store)
@@ -25,17 +25,17 @@ def main() -> None:
     print("\npage needs (how much of the array each kernel actually uses):")
     body = []
     for name in kernel_names():
-        prof = compile_kernel(name, size, 4, store=store)
-        if prof is None:
+        artifact = compile_kernel(name, size, 4, store=store)
+        if artifact.unmappable:
             body.append([name, "n/a", "n/a", "n/a"])
             continue
         total = (size * size) // 4
         body.append(
             [
                 name,
-                prof.pages_used,
+                artifact.pages_used,
                 total,
-                f"{prof.pages_used / total * 100:.0f}%",
+                f"{artifact.pages_used / total * 100:.0f}%",
             ]
         )
     print(

@@ -7,7 +7,7 @@ over thread counts showing the paper's Fig. 9 trend.
 Run:  python examples/multithreaded_system.py
 """
 
-from repro.bench.profiles import ProfileStore, build_profiles
+from repro.pipeline import ArtifactStore, build_profiles
 from repro.sim.system import SystemConfig, improvement, simulate_system
 from repro.sim.workload import generate_workload
 from repro.util.tables import format_table
@@ -17,9 +17,10 @@ PAGE_SIZE = 4  # four 2x2 pages
 
 
 def main() -> None:
-    store = ProfileStore()
+    store = ArtifactStore()
     print(f"compiling the suite for a {SIZE}x{SIZE} CGRA, page size {PAGE_SIZE} ...")
     profiles = build_profiles(SIZE, PAGE_SIZE, store=store)
+    print(store.describe())
     rows = [
         [p.name, p.ii_base, p.ii_paged, p.pages_used, "yes" if p.wrap_used else "no"]
         for p in profiles.values()

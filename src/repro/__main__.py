@@ -14,12 +14,12 @@ import numpy as np
 
 from repro import viz
 from repro.arch import CGRA
-from repro.bench.profiles import ProfileStore, build_profiles
 from repro.compiler import map_dfg_paged
 from repro.compiler.constraints import paged_bus_key
 from repro.core.pagemaster import PageMaster
 from repro.core.paging import PageLayout
 from repro.kernels import bind_memory, get_kernel
+from repro.pipeline import ArtifactStore, build_profiles
 from repro.sim import (
     lower_mapping,
     required_batches,
@@ -76,7 +76,7 @@ def main(kernel: str = "mpeg") -> int:
     )
 
     print("\nminiature Fig. 9 (4 threads, 75% CGRA need):")
-    profiles = build_profiles(4, 4, store=ProfileStore())
+    profiles = build_profiles(4, 4, store=ArtifactStore())
     nominal = {k: p.ii_paged for k, p in profiles.items()}
     wl = generate_workload(4, 0.75, sorted(profiles), nominal, seed=3)
     cfg = SystemConfig(n_pages=4, profiles=profiles)

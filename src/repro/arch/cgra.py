@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.interconnect import Coord, Interconnect
 from repro.util.errors import ArchitectureError
+from repro.util.fingerprint import canonical_fingerprint
 
 __all__ = ["CGRA"]
 
@@ -70,6 +71,25 @@ class CGRA:
 
     def adjacent_or_same(self, a: Coord, b: Coord) -> bool:
         return self.interconnect.adjacent_or_same(a, b)
+
+    def fingerprint(self) -> str:
+        """Canonical structural hash of the architecture description.
+
+        Covers every parameter that can change what the compiler produces
+        (grid, register depth, memory ports, interconnect flavour), so two
+        CGRA objects fingerprint equal iff a mapping for one is valid for
+        the other.  Used as a cache-key component by :mod:`repro.pipeline`.
+        """
+        return canonical_fingerprint(
+            {
+                "rows": self.rows,
+                "cols": self.cols,
+                "rf_depth": self.rf_depth,
+                "mem_ports_per_row": self.mem_ports_per_row,
+                "diagonal": self.diagonal,
+                "torus": self.torus,
+            }
+        )
 
     def describe(self) -> str:
         return (

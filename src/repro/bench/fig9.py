@@ -12,10 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import mean
 
-from repro.bench.profiles import ProfileStore, build_profiles
 from repro.core.paging import choose_page_shape
 from repro.arch.cgra import CGRA
 from repro.core.paging import PageLayout
+from repro.pipeline import ArtifactStore, build_profiles
 from repro.sim.system import SystemConfig, improvement, simulate_system
 from repro.sim.workload import generate_workload
 from repro.util.rng import derive_seed
@@ -53,9 +53,10 @@ def run_fig9(
     thread_counts=THREAD_COUNTS,
     seed: int = 0,
     repeats: int = 3,
-    store: ProfileStore | None = None,
+    store: ArtifactStore | None = None,
     kernels: list[str] | None = None,
     reconfig_overhead: int = 0,
+    workers: int = 1,
 ) -> list[Fig9Cell]:
     """Reproduce one panel of Fig. 9.
 
@@ -63,7 +64,7 @@ def run_fig9(
     averaged, since the paper's threads are randomly generated.
     """
     profiles = build_profiles(
-        size, page_size, seed=seed, store=store, kernels=kernels
+        size, page_size, seed=seed, store=store, kernels=kernels, workers=workers
     )
     if not profiles:
         return []

@@ -65,6 +65,15 @@ class MapperConfig:
     eval_budget: int = 200  # total (time, PE) candidates probed per op
     root_margin: int = 2  # extra slack before anchor-less non-source ops
 
+    def fingerprint(self) -> str:
+        """Canonical hash over every knob — any tuning change invalidates
+        cached artifacts keyed on it (:mod:`repro.pipeline`)."""
+        from dataclasses import asdict
+
+        from repro.util.fingerprint import canonical_fingerprint
+
+        return canonical_fingerprint(asdict(self))
+
 
 @dataclass
 class _Attempt:

@@ -12,6 +12,12 @@ departures trigger expansion and admit queued threads.  Every allocation
 change is recorded as a :class:`Reallocation` event so callers can charge
 transformation/transfer overheads and drive the PageMaster transformation
 for the affected threads.
+
+The compiled facts a thread arrives with — its page need, constrained II,
+and the steady-state II table of its shrunk schedules — come from a
+:class:`repro.pipeline.CompiledKernel` artifact (via
+:meth:`~repro.pipeline.CompiledKernel.profile`); mapping is never redone
+at runtime, which is the paper's §III premise.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ import networkx as nx
 
 from repro.arch.isa import OPCODE_INFO, Opcode
 from repro.util.errors import GraphError
+from repro.util.fingerprint import canonical_fingerprint
 
 __all__ = ["MemRef", "Op", "Edge", "DFG"]
 
@@ -224,6 +225,37 @@ class DFG:
                 init=e.init,
             )
         return out
+
+    def fingerprint(self) -> str:
+        """Canonical structural hash of the graph.
+
+        Stable across processes and independent of object identity, dict
+        insertion order, edge-id numbering, and cosmetic op/graph names —
+        two DFGs fingerprint equal iff the compiler would treat them the
+        same.  Any semantic mutation (op added, opcode/immediate/memref
+        changed, edge rewired, distance or init values changed) changes the
+        fingerprint, which is what makes it safe as a cache key in
+        :mod:`repro.pipeline`.
+        """
+        ops = [
+            [
+                op.id,
+                op.opcode.value,
+                op.immediate,
+                [op.memref.array, op.memref.stride, op.memref.offset, op.memref.ring]
+                if op.memref is not None
+                else None,
+            ]
+            for op in sorted(self.ops.values(), key=lambda o: o.id)
+        ]
+        edges = [
+            [e.src, e.dst, e.operand_index, e.distance, list(e.init)]
+            for e in sorted(
+                self.edges.values(),
+                key=lambda e: (e.dst, e.operand_index, e.src, e.distance),
+            )
+        ]
+        return canonical_fingerprint({"ops": ops, "edges": edges})
 
     def summary(self) -> str:
         return (

@@ -1,0 +1,258 @@
+"""The compilation artifact: everything a compiled kernel ever needs again.
+
+A :class:`CompiledKernel` is the unit the :class:`~repro.pipeline.store.
+ArtifactStore` persists and the rest of the codebase consumes.  It carries
+the paged mapping itself (placements and routes), the page need, both IIs,
+and the precomputed steady-state II table of the PageMaster-shrunk
+schedule — so neither the benches nor the system simulator ever re-invoke
+the mapper (or re-derive PageMaster placements) for a kernel that was
+compiled before.
+
+Artifacts are plain data with a versioned, canonical JSON encoding:
+``to_json()`` of equal artifacts is byte-identical (sorted keys, fixed
+separators), which is what lets the parallel fan-out of
+:func:`repro.pipeline.compile.compile_many` be checked against the serial
+path exactly.  The page-level schedule is not stored redundantly; it is
+reconstructed deterministically from the mapping by :meth:`materialize`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.util.errors import ArtifactError
+from repro.util.fingerprint import canonical_json
+
+__all__ = ["ARTIFACT_VERSION", "ArtifactKey", "CompiledKernel"]
+
+#: Bump when the artifact schema or the meaning of a field changes; stores
+#: treat artifacts of any other version as cache misses.
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Content address of one compilation: what was compiled (``dfg_fp``),
+    for which fabric (``arch_fp``), with which mapper tuning
+    (``mapper_fp``)."""
+
+    dfg_fp: str
+    arch_fp: str
+    mapper_fp: str
+
+    @property
+    def digest(self) -> str:
+        """Filesystem-safe combined digest used as the store filename."""
+        blob = f"{self.dfg_fp}/{self.arch_fp}/{self.mapper_fp}".encode("ascii")
+        return hashlib.sha256(blob).hexdigest()
+
+    def __str__(self) -> str:
+        return f"{self.dfg_fp}/{self.arch_fp}/{self.mapper_fp}"
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One kernel compiled for one (CGRA, page layout, mapper config).
+
+    ``placements`` holds ``(op_id, row, col, time)`` per DFG op;
+    ``routes`` holds ``(edge_id, steps, tap)`` with each step/tap a
+    ``(row, col, time)`` triple; ``steady_ii`` holds ``(m, numerator,
+    denominator)`` of the exact steady-state II for every shrink target
+    ``m <= pages_used``.  ``unmappable`` artifacts record that the paged
+    compiler could not honour the constraints (the paper likewise omits
+    such configurations); they keep the baseline II and nothing else.
+    """
+
+    kernel: str
+    rows: int
+    cols: int
+    rf_depth: int
+    mem_ports_per_row: int
+    page_shape: tuple[int, int]
+    layout_wrap: bool  # mapping's layout used the ring-wrap link topology
+    seed: int
+    dfg_fp: str
+    arch_fp: str
+    mapper_fp: str
+    ii_base: int
+    unmappable: bool = False
+    ii_paged: int = 0
+    pages_used: int = 0
+    wrap_used: bool = False
+    placements: tuple[tuple[int, int, int, int], ...] = ()
+    routes: tuple[
+        tuple[
+            int,
+            tuple[tuple[int, int, int], ...],
+            tuple[int, int, int] | None,
+        ],
+        ...,
+    ] = ()
+    steady_ii: tuple[tuple[int, int, int], ...] = ()
+
+    # -- identity -------------------------------------------------------------------
+
+    @property
+    def key(self) -> ArtifactKey:
+        return ArtifactKey(self.dfg_fp, self.arch_fp, self.mapper_fp)
+
+    # -- serialization --------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": ARTIFACT_VERSION,
+            "kernel": self.kernel,
+            "rows": self.rows,
+            "cols": self.cols,
+            "rf_depth": self.rf_depth,
+            "mem_ports_per_row": self.mem_ports_per_row,
+            "page_shape": list(self.page_shape),
+            "layout_wrap": self.layout_wrap,
+            "seed": self.seed,
+            "dfg_fp": self.dfg_fp,
+            "arch_fp": self.arch_fp,
+            "mapper_fp": self.mapper_fp,
+            "ii_base": self.ii_base,
+            "unmappable": self.unmappable,
+            "ii_paged": self.ii_paged,
+            "pages_used": self.pages_used,
+            "wrap_used": self.wrap_used,
+            "placements": [list(p) for p in self.placements],
+            "routes": [
+                [e, [list(s) for s in steps], list(tap) if tap is not None else None]
+                for (e, steps, tap) in self.routes
+            ],
+            "steady_ii": [list(s) for s in self.steady_ii],
+        }
+
+    def to_json(self) -> str:
+        """Canonical encoding: equal artifacts serialize byte-identically."""
+        return canonical_json(self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, raw: dict) -> "CompiledKernel":
+        if not isinstance(raw, dict):
+            raise ArtifactError(f"artifact payload is {type(raw).__name__}, not an object")
+        version = raw.get("version")
+        if version != ARTIFACT_VERSION:
+            raise ArtifactError(
+                f"artifact schema version {version!r} != {ARTIFACT_VERSION}"
+            )
+        try:
+            return cls(
+                kernel=raw["kernel"],
+                rows=raw["rows"],
+                cols=raw["cols"],
+                rf_depth=raw["rf_depth"],
+                mem_ports_per_row=raw["mem_ports_per_row"],
+                page_shape=tuple(raw["page_shape"]),
+                layout_wrap=raw["layout_wrap"],
+                seed=raw["seed"],
+                dfg_fp=raw["dfg_fp"],
+                arch_fp=raw["arch_fp"],
+                mapper_fp=raw["mapper_fp"],
+                ii_base=raw["ii_base"],
+                unmappable=raw["unmappable"],
+                ii_paged=raw["ii_paged"],
+                pages_used=raw["pages_used"],
+                wrap_used=raw["wrap_used"],
+                placements=tuple(tuple(p) for p in raw["placements"]),
+                routes=tuple(
+                    (
+                        e,
+                        tuple(tuple(s) for s in steps),
+                        tuple(tap) if tap is not None else None,
+                    )
+                    for (e, steps, tap) in raw["routes"]
+                ),
+                steady_ii=tuple(tuple(s) for s in raw["steady_ii"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"malformed artifact payload: {exc}") from exc
+
+    # -- consumption ----------------------------------------------------------------
+
+    def steady_table(self) -> dict[int, Fraction]:
+        """The PageMaster steady-state II per shrink target, exact."""
+        return {m: Fraction(num, den) for (m, num, den) in self.steady_ii}
+
+    def profile(self):
+        """The :class:`~repro.sim.system.KernelProfile` the system model
+        consumes (None for unmappable configurations)."""
+        from repro.sim.system import KernelProfile
+
+        if self.unmappable:
+            return None
+        return KernelProfile(
+            self.kernel,
+            self.ii_base,
+            self.ii_paged,
+            self.pages_used,
+            self.wrap_used,
+            steady_ii=self.steady_table(),
+        )
+
+    def materialize(self, dfg):
+        """Rebuild the full :class:`~repro.compiler.paged.PagedMapping` —
+        mapping, layout, and page-level schedule — from the artifact.
+
+        *dfg* must be the graph this artifact was compiled from (checked
+        against ``dfg_fp``); the page schedule is re-extracted
+        deterministically rather than stored twice.
+        """
+        from repro.arch.cgra import CGRA
+        from repro.arch.interconnect import Coord
+        from repro.compiler.mapping import Mapping, Placement, Route, RouteStep
+        from repro.compiler.paged import PagedMapping
+        from repro.core.page_schedule import extract_page_schedule
+        from repro.core.paging import PageLayout
+
+        if self.unmappable:
+            raise ArtifactError(
+                f"artifact for {self.kernel!r} is unmappable; nothing to materialize"
+            )
+        if dfg.fingerprint() != self.dfg_fp:
+            raise ArtifactError(
+                f"DFG fingerprint {dfg.fingerprint()} does not match the "
+                f"artifact's {self.dfg_fp}"
+            )
+        cgra = CGRA(
+            self.rows,
+            self.cols,
+            rf_depth=self.rf_depth,
+            mem_ports_per_row=self.mem_ports_per_row,
+        )
+        full = PageLayout(cgra, self.page_shape)
+        layout = PageLayout(cgra, self.page_shape, allow_wrap=self.layout_wrap)
+        if self.pages_used < layout.num_pages:
+            layout = layout.subchain(self.pages_used)
+        placements = {
+            op_id: Placement(op_id, Coord(r, c), t)
+            for (op_id, r, c, t) in self.placements
+        }
+        routes = {
+            e: Route(
+                e,
+                tuple(RouteStep(Coord(r, c), t) for (r, c, t) in steps),
+                RouteStep(Coord(tap[0], tap[1]), tap[2]) if tap is not None else None,
+            )
+            for (e, steps, tap) in self.routes
+        }
+        mapping = Mapping(cgra, dfg, self.ii_paged, placements, routes)
+        schedule = extract_page_schedule(mapping, layout)
+        return PagedMapping(mapping, layout, schedule, full)
+
+    def summary(self) -> str:
+        if self.unmappable:
+            return (
+                f"{self.kernel} on {self.rows}x{self.cols} "
+                f"(pages {self.page_shape[0]}x{self.page_shape[1]}): unmappable"
+            )
+        return (
+            f"{self.kernel} on {self.rows}x{self.cols} "
+            f"(pages {self.page_shape[0]}x{self.page_shape[1]}): "
+            f"II {self.ii_base}->{self.ii_paged}, need {self.pages_used} "
+            f"page(s){', wrap' if self.wrap_used else ''}"
+        )

@@ -1,0 +1,233 @@
+"""The compilation front door: jobs in, artifacts out, cache in between.
+
+Everything in the repository that needs a compiled kernel — the figure
+benches, the system simulator, the examples, the guided demo — goes through
+:func:`compile_kernel` / :func:`compile_many`.  A job names *what* to
+compile (kernel, grid size, page size/shape preference, seed); the pipeline
+fingerprints the job's DFG, architecture and mapper configuration, consults
+the :class:`~repro.pipeline.store.ArtifactStore`, and only invokes the
+mapper on a genuine miss.  ``compile_many`` fans misses out over a
+``ProcessPoolExecutor`` (mapping is CPU-bound pure Python), and is
+deterministic: the artifacts it produces are byte-identical to the serial
+path for a fixed seed, regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.arch.cgra import CGRA
+from repro.compiler.ems import MapperConfig, map_dfg
+from repro.compiler.paged import map_dfg_paged
+from repro.core.pagemaster import steady_state_ii
+from repro.core.paging import PageLayout, choose_page_shape
+from repro.kernels import get_kernel, kernel_names
+from repro.pipeline.artifact import ArtifactKey, CompiledKernel
+from repro.pipeline.store import ArtifactStore
+from repro.util.errors import MappingError
+from repro.util.fingerprint import canonical_fingerprint
+
+__all__ = [
+    "CompileJob",
+    "job_key",
+    "compile_job",
+    "compile_kernel",
+    "compile_many",
+    "build_profiles",
+    "make_layout",
+]
+
+
+def make_layout(cgra: CGRA, page_size: int, prefer: str = "square") -> PageLayout:
+    """Standard page layout for the experiments: the most square tile of
+    *page_size* PEs that fits (Fig. 4 uses 2x2 for size 4)."""
+    return PageLayout(cgra, choose_page_shape(page_size, cgra.rows, cgra.cols, prefer))
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One unit of compilation work: a suite kernel on one configuration.
+
+    ``mapper`` overrides the mapper tuning; by default the experiments'
+    standard configuration (seeded, 4 attempts per II) is derived from
+    ``seed``.  Jobs are hashable (dedup) and picklable (process fan-out).
+    """
+
+    kernel: str
+    size: int
+    page_size: int
+    prefer: str = "square"
+    seed: int = 0
+    mapper: MapperConfig | None = None
+
+    @property
+    def mapper_config(self) -> MapperConfig:
+        return self.mapper or MapperConfig(seed=self.seed, attempts_per_ii=4)
+
+    def build_cgra(self) -> CGRA:
+        # rf_depth = 4 * size: §VI-E requires N registers for N pages, and
+        # the experiments' largest page count per grid is rows*cols/2.
+        return CGRA(self.size, self.size, rf_depth=4 * self.size)
+
+
+def job_key(job: CompileJob) -> ArtifactKey:
+    """Content address of *job*: structural DFG hash, architecture hash
+    (grid plus page geometry), mapper-configuration hash."""
+    dfg = get_kernel(job.kernel).build()
+    cgra = job.build_cgra()
+    shape = choose_page_shape(job.page_size, cgra.rows, cgra.cols, job.prefer)
+    arch_fp = canonical_fingerprint(
+        {"cgra": cgra.fingerprint(), "page_shape": list(shape)}
+    )
+    return ArtifactKey(dfg.fingerprint(), arch_fp, job.mapper_config.fingerprint())
+
+
+def compile_job(job: CompileJob) -> tuple[CompiledKernel, float]:
+    """Compile one job, uncached.  Returns (artifact, mapper seconds).
+
+    Top-level (picklable) so :func:`compile_many` can run it in worker
+    processes; deterministic for a fixed job, so parallel and serial runs
+    produce byte-identical artifacts.
+    """
+    started = time.perf_counter()
+    key = job_key(job)
+    dfg = get_kernel(job.kernel).build()
+    cgra = job.build_cgra()
+    layout = make_layout(cgra, job.page_size, job.prefer)
+    config = job.mapper_config
+    base = map_dfg(dfg, cgra, config=config)
+    common = dict(
+        kernel=job.kernel,
+        rows=cgra.rows,
+        cols=cgra.cols,
+        rf_depth=cgra.rf_depth,
+        mem_ports_per_row=cgra.mem_ports_per_row,
+        page_shape=layout.shape,
+        seed=job.seed,
+        dfg_fp=key.dfg_fp,
+        arch_fp=key.arch_fp,
+        mapper_fp=key.mapper_fp,
+        ii_base=base.ii,
+    )
+    try:
+        paged = map_dfg_paged(dfg, cgra, layout, config=config)
+    except MappingError:
+        artifact = CompiledKernel(layout_wrap=False, unmappable=True, **common)
+        return artifact, time.perf_counter() - started
+    steady = tuple(
+        (m, ii.numerator, ii.denominator)
+        for m in range(1, paged.pages_used + 1)
+        for ii in [
+            steady_state_ii(
+                paged.pages_used, paged.ii, m, wrap_used=paged.wrap_used
+            )
+        ]
+    )
+    artifact = CompiledKernel(
+        layout_wrap=paged.layout.allow_wrap,
+        ii_paged=paged.ii,
+        pages_used=paged.pages_used,
+        wrap_used=paged.wrap_used,
+        placements=tuple(
+            (p.op_id, p.pe.row, p.pe.col, p.time)
+            for p in sorted(
+                paged.mapping.placements.values(), key=lambda p: p.op_id
+            )
+        ),
+        routes=tuple(
+            (
+                r.edge_id,
+                tuple((s.pe.row, s.pe.col, s.time) for s in r.steps),
+                (r.tap.pe.row, r.tap.pe.col, r.tap.time) if r.tap else None,
+            )
+            for r in sorted(paged.mapping.routes.values(), key=lambda r: r.edge_id)
+        ),
+        steady_ii=steady,
+        **common,
+    )
+    return artifact, time.perf_counter() - started
+
+
+def compile_many(
+    jobs: Iterable[CompileJob],
+    *,
+    store: ArtifactStore | None = None,
+    workers: int = 1,
+) -> list[CompiledKernel]:
+    """Compile *jobs*, returning artifacts in input order.
+
+    Warm jobs are served from *store* without touching the mapper;
+    duplicate jobs are compiled once.  With ``workers > 1`` the misses are
+    fanned out over a process pool — results are identical to the serial
+    path, only wall-clock changes.
+    """
+    jobs = list(jobs)
+    resolved: dict[CompileJob, CompiledKernel] = {}
+    pending: list[CompileJob] = []
+    for job in jobs:
+        if job in resolved or job in pending:
+            continue
+        hit = store.get(job_key(job)) if store is not None else None
+        if hit is not None:
+            resolved[job] = hit
+        else:
+            pending.append(job)
+    if pending:
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                compiled = list(pool.map(compile_job, pending))
+        else:
+            compiled = [compile_job(job) for job in pending]
+        for job, (artifact, seconds) in zip(pending, compiled):
+            resolved[job] = artifact
+            if store is not None:
+                store.note_compile_time(seconds)
+                store.put(artifact)
+    return [resolved[job] for job in jobs]
+
+
+def compile_kernel(
+    kernel: str,
+    size: int,
+    page_size: int,
+    *,
+    prefer: str = "square",
+    seed: int = 0,
+    mapper: MapperConfig | None = None,
+    store: ArtifactStore | None = None,
+) -> CompiledKernel:
+    """Compile (or load) one kernel for one configuration."""
+    job = CompileJob(kernel, size, page_size, prefer=prefer, seed=seed, mapper=mapper)
+    return compile_many([job], store=store)[0]
+
+
+def build_profiles(
+    size: int,
+    page_size: int,
+    *,
+    prefer: str = "square",
+    seed: int = 0,
+    store: ArtifactStore | None = None,
+    kernels: Sequence[str] | None = None,
+    workers: int = 1,
+):
+    """:class:`~repro.sim.system.KernelProfile` per mappable suite kernel
+    on one configuration — the system simulator's input."""
+    names = list(kernels) if kernels is not None else kernel_names()
+    artifacts = compile_many(
+        [
+            CompileJob(name, size, page_size, prefer=prefer, seed=seed)
+            for name in names
+        ],
+        store=store,
+        workers=workers,
+    )
+    profiles = {}
+    for artifact in artifacts:
+        profile = artifact.profile()
+        if profile is not None:
+            profiles[profile.name] = profile
+    return profiles

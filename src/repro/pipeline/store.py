@@ -1,0 +1,133 @@
+"""Content-addressed, on-disk store of compilation artifacts.
+
+One artifact per file, addressed purely by content fingerprints —
+``sha256(dfg_fp / arch_fp / mapper_fp)`` — so a cache entry can never be
+stale: any change to the kernel's DFG, the CGRA description, or the mapper
+tuning changes the address, and the old entry is simply never looked up
+again.  There is no schema-version-keyed invalidation dance to forget
+(bumping :data:`~repro.pipeline.artifact.ARTIFACT_VERSION` suffices when
+the artifact encoding itself changes).
+
+Writes are atomic (temp file + ``os.replace``), so a crashed or concurrent
+compile can never leave a half-written artifact behind.  Reads are
+corruption-tolerant: an unreadable or mismatched file is *logged* as a
+warning — never silently swallowed — and treated as a miss.
+
+The store counts hits, misses, writes and mapper seconds, which is how the
+bench CLI reports cache effectiveness (a warm ``python -m repro.bench``
+run shows zero misses — zero mapper invocations).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.pipeline.artifact import CompiledKernel, ArtifactKey
+from repro.util.errors import ArtifactError
+
+__all__ = ["ArtifactStore", "STORE_DIRNAME"]
+
+logger = logging.getLogger(__name__)
+
+#: Default store directory, created under ``$REPRO_CACHE_DIR`` (or ".").
+STORE_DIRNAME = ".repro_artifacts"
+
+
+class ArtifactStore:
+    """Filesystem store of :class:`CompiledKernel` artifacts."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        if root is None:
+            base = os.environ.get("REPRO_CACHE_DIR", ".")
+            root = Path(base) / STORE_DIRNAME
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.compile_seconds = 0.0
+
+    # -- addressing -----------------------------------------------------------------
+
+    def path_for(self, key: ArtifactKey) -> Path:
+        digest = key.digest
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- access ---------------------------------------------------------------------
+
+    def get(self, key: ArtifactKey) -> CompiledKernel | None:
+        """The stored artifact for *key*, or None (counted as a miss).
+
+        Unreadable files — corrupt JSON, foreign schema versions, content
+        that does not match its address — are reported via
+        ``logging.warning`` and treated as misses; the next ``put``
+        overwrites them.
+        """
+        path = self.path_for(key)
+        try:
+            raw = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.warning("discarding unreadable artifact %s: %s", path, exc)
+            self.misses += 1
+            return None
+        try:
+            artifact = CompiledKernel.from_json_dict(raw)
+        except ArtifactError as exc:
+            logger.warning("discarding incompatible artifact %s: %s", path, exc)
+            self.misses += 1
+            return None
+        if artifact.key != key:
+            logger.warning(
+                "artifact %s does not match its address (have %s, want %s)",
+                path,
+                artifact.key,
+                key,
+            )
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def put(self, artifact: CompiledKernel) -> Path | None:
+        """Persist *artifact* atomically; best-effort but never silent."""
+        path = self.path_for(artifact.key)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(artifact.to_json())
+            os.replace(tmp, path)
+        except OSError as exc:
+            logger.warning("could not persist artifact %s: %s", path, exc)
+            tmp.unlink(missing_ok=True)
+            return None
+        self.puts += 1
+        return path
+
+    # -- accounting -----------------------------------------------------------------
+
+    def note_compile_time(self, seconds: float) -> None:
+        self.compile_seconds += seconds
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.puts = 0
+        self.compile_seconds = 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "compile_seconds": round(self.compile_seconds, 3),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"artifact cache ({self.root}): {self.hits} hit(s), "
+            f"{self.misses} miss(es), {self.puts} write(s), "
+            f"{self.compile_seconds:.1f}s compiling"
+        )

@@ -25,6 +25,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Mapping
 
 from repro.core.pagemaster import steady_state_ii
 from repro.core.policies import AllocationPolicy, HalvingPolicy
@@ -45,6 +46,13 @@ class KernelProfile:
     whether the paged mapping depends on the ring-wrap link; wrap-free
     kernels shrink with the optimal grouped fold when the target page count
     divides the need.
+
+    ``steady_ii`` optionally carries the precomputed steady-state II table
+    ``{m: II_eff}`` of the PageMaster-shrunk schedule — compilation
+    artifacts (:class:`repro.pipeline.CompiledKernel`) fill it in so the
+    simulator never re-derives placements.  Missing entries are computed on
+    demand and memoised *per profile instance*, so simulations and tests
+    never share mutable state through a module global.
     """
 
     name: str
@@ -52,12 +60,26 @@ class KernelProfile:
     ii_paged: int  # ring-constrained mapping on its page prefix
     pages_used: int = 1
     wrap_used: bool = False
+    steady_ii: Mapping[int, Fraction] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.ii_base < 1 or self.ii_paged < 1:
             raise WorkloadError(f"kernel {self.name}: IIs must be >= 1")
         if self.pages_used < 1:
             raise WorkloadError(f"kernel {self.name}: pages_used must be >= 1")
+        memo = dict(self.steady_ii) if self.steady_ii is not None else {}
+        object.__setattr__(self, "_steady_memo", memo)
+
+    def steady_state_ii_of(self, m: int) -> Fraction:
+        """Exact steady-state II of this kernel shrunk onto *m* pages."""
+        memo: dict[int, Fraction] = self._steady_memo
+        if m not in memo:
+            memo[m] = steady_state_ii(
+                self.pages_used, self.ii_paged, m, wrap_used=self.wrap_used
+            )
+        return memo[m]
 
 
 @dataclass
@@ -175,8 +197,7 @@ class _SystemSim:
         # columns is slower than the grouped fold onto only 4), so the
         # runtime picks the best sub-allocation of the granted segment.
         return min(
-            _cached_steady_ii(prof.pages_used, prof.ii_paged, m_eff, prof.wrap_used)
-            for m_eff in range(1, m + 1)
+            prof.steady_state_ii_of(m_eff) for m_eff in range(1, m + 1)
         )
 
     def _push(self, time: Fraction, kind: str, tid: int) -> None:
@@ -389,20 +410,6 @@ class _SystemSim:
         self.result.makespan = max(self.result.finish_times.values(), default=0.0)
         self.result.cgra_busy_page_cycles = float(self.busy_page_cycles)
         return self.result
-
-
-_steady_cache: dict[tuple[int, int, int, bool], Fraction] = {}
-
-
-def _cached_steady_ii(
-    n_pages: int, ii_p: int, m: int, wrap_used: bool = False
-) -> Fraction:
-    key = (n_pages, ii_p, m, wrap_used)
-    if key not in _steady_cache:
-        _steady_cache[key] = steady_state_ii(
-            n_pages, ii_p, m, wrap_used=wrap_used
-        )
-    return _steady_cache[key]
 
 
 def simulate_system(

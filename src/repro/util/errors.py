@@ -41,3 +41,8 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload specification for the system simulator."""
+
+
+class ArtifactError(ReproError):
+    """A compilation artifact could not be (de)serialized or does not match
+    the key it was stored under (:mod:`repro.pipeline`)."""

@@ -1,0 +1,34 @@
+"""Canonical structural fingerprints.
+
+The compilation pipeline (:mod:`repro.pipeline`) content-addresses compiled
+artifacts by the fingerprints of the DFG, the architecture, and the mapper
+configuration.  A fingerprint must therefore be *canonical*: the same
+logical object always hashes to the same string, independent of object
+identity, dict insertion order, or the Python process.  We get this by
+hashing a JSON rendering with sorted keys and fixed separators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_json", "canonical_fingerprint", "FINGERPRINT_LENGTH"]
+
+#: Hex digits kept from the sha256 digest.  64 bits — collisions across the
+#: handful of thousands of artifacts a repository ever holds are negligible,
+#: and the short form keeps keys readable in logs and filenames.
+FINGERPRINT_LENGTH = 16
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON rendering of *payload* (sorted keys, no spaces)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def canonical_fingerprint(payload, *, length: int = FINGERPRINT_LENGTH) -> str:
+    """Stable hex digest of a JSON-able *payload*."""
+    blob = canonical_json(payload).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:length]

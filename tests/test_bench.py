@@ -1,4 +1,4 @@
-"""Tests for the experiment harness itself (profile cache, figure drivers,
+"""Tests for the experiment harness itself (artifact cache, figure drivers,
 CLI registry) — using a small kernel subset so they stay fast."""
 
 from __future__ import annotations
@@ -7,56 +7,70 @@ import json
 
 import pytest
 
+from repro.arch.cgra import CGRA
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.fig8 import page_sizes_for, render_fig8, run_fig8
 from repro.bench.fig9 import best_improvement, render_fig9, run_fig9
-from repro.bench.profiles import (
-    CACHE_VERSION,
-    ProfileStore,
+from repro.pipeline import (
+    ARTIFACT_VERSION,
+    ArtifactStore,
+    CompileJob,
     build_profiles,
     compile_kernel,
+    job_key,
     make_layout,
 )
-from repro.arch.cgra import CGRA
 
 FAST = ["sor", "laplace", "wavelet"]
 
 
 @pytest.fixture()
 def tmp_store(tmp_path):
-    return ProfileStore(path=tmp_path / "cache.json")
+    return ArtifactStore(tmp_path / "artifacts")
 
 
-class TestProfileStore:
+class TestArtifactCache:
     def test_miss_then_hit(self, tmp_store):
-        p1 = compile_kernel("sor", 4, 4, store=tmp_store)
-        p2 = compile_kernel("sor", 4, 4, store=tmp_store)
-        assert p1 == p2
-        raw = json.loads(tmp_store.path.read_text())
-        assert raw["version"] == CACHE_VERSION
-        assert "sor/4x4/p4-square/s0" in raw["entries"]
+        a1 = compile_kernel("sor", 4, 4, store=tmp_store)
+        a2 = compile_kernel("sor", 4, 4, store=tmp_store)
+        assert a1 == a2
+        assert tmp_store.stats()["misses"] == 1
+        assert tmp_store.stats()["hits"] == 1
+        path = tmp_store.path_for(a1.key)
+        assert path.exists()
+        assert json.loads(path.read_text())["version"] == ARTIFACT_VERSION
 
     def test_cache_survives_reload(self, tmp_store):
         compile_kernel("sor", 4, 4, store=tmp_store)
-        fresh = ProfileStore(path=tmp_store.path)
-        assert fresh.get("sor", 4, 4, "square", 0) is not None
+        fresh = ArtifactStore(tmp_store.root)
+        key = job_key(CompileJob("sor", 4, 4))
+        assert fresh.get(key) is not None
+        assert fresh.hits == 1
 
-    def test_version_mismatch_discards(self, tmp_store):
+    def test_version_mismatch_discards(self, tmp_store, caplog):
         compile_kernel("sor", 4, 4, store=tmp_store)
-        raw = json.loads(tmp_store.path.read_text())
+        key = job_key(CompileJob("sor", 4, 4))
+        path = tmp_store.path_for(key)
+        raw = json.loads(path.read_text())
         raw["version"] = -1
-        tmp_store.path.write_text(json.dumps(raw))
-        fresh = ProfileStore(path=tmp_store.path)
-        assert fresh.get("sor", 4, 4, "square", 0) is None
+        path.write_text(json.dumps(raw))
+        fresh = ArtifactStore(tmp_store.root)
+        with caplog.at_level("WARNING", logger="repro.pipeline.store"):
+            assert fresh.get(key) is None
+        assert fresh.misses == 1
+        assert any("incompatible" in r.message for r in caplog.records)
 
-    def test_corrupt_cache_tolerated(self, tmp_path):
-        path = tmp_path / "cache.json"
+    def test_corrupt_cache_tolerated_and_logged(self, tmp_store, caplog):
+        key = job_key(CompileJob("sor", 4, 4))
+        path = tmp_store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text("{not json")
-        store = ProfileStore(path=path)
-        assert store.get("sor", 4, 4, "square", 0) is None
+        with caplog.at_level("WARNING", logger="repro.pipeline.store"):
+            assert tmp_store.get(key) is None
+        assert any("unreadable" in r.message for r in caplog.records)
 
     def test_profile_fields(self, tmp_store):
-        p = compile_kernel("sor", 4, 4, store=tmp_store)
+        p = compile_kernel("sor", 4, 4, store=tmp_store).profile()
         assert p.name == "sor"
         assert p.ii_base >= 1 and p.ii_paged >= 1
         assert p.pages_used >= 1
@@ -118,7 +132,7 @@ class TestRegistry:
             assert name in EXPERIMENTS
 
     def test_run_experiment_uses_shared_cache(self):
-        # the repo-level cache is warm after the bench suite, so this is fast
+        # the repo-level artifact store is warm (committed), so this is fast
         out = run_experiment("fig8_4x4")
         assert "Fig. 8" in out
 
@@ -183,6 +197,8 @@ class TestCLI:
 
         out_path = tmp_path / "fig9.json"
         assert main(["fig9_4x4", "--json", str(out_path)]) == 0
-        assert "Fig. 9" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out
+        assert "[cache]" in out  # hit/miss counters are reported
         records = json.loads(out_path.read_text())
         assert records and records[0]["experiment"] == "fig9"
