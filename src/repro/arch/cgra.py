@@ -63,6 +63,13 @@ class CGRA:
     def num_pes(self) -> int:
         return self.rows * self.cols
 
+    @property
+    def grid_index(self):
+        """Precomputed integer view of the fabric (Coord<->id tables,
+        int adjacency, all-pairs distance matrices) — the compiler's hot
+        paths run on this instead of hashing ``Coord`` objects."""
+        return self.interconnect.grid_index
+
     def coords(self):
         return self.interconnect.coords()
 

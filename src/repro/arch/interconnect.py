@@ -8,12 +8,13 @@ geometric — slot occupancy lives in the compiler's reservation tables.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.util.errors import ArchitectureError
 
-__all__ = ["Coord", "Interconnect"]
+__all__ = ["Coord", "GridIndex", "Interconnect"]
 
 
 @dataclass(frozen=True, order=True)
@@ -28,6 +29,62 @@ class Coord:
 
     def __repr__(self) -> str:  # compact, used heavily in traces
         return f"({self.row},{self.col})"
+
+
+class GridIndex:
+    """Immutable integer view of one :class:`Interconnect`.
+
+    The compiler's inner loops (reservation lookups, route search) run
+    millions of state expansions per kernel; hashing ``Coord`` dataclasses
+    and recomputing distances there dominates cold-compile time.  This
+    index precomputes, once per fabric:
+
+    * ``coords`` / ``id_of`` — the Coord <-> integer PE id bijection
+      (row-major, identical to :meth:`Interconnect.index`);
+    * ``neighbor_ids`` / ``reach1_ids`` — the adjacency lists as tuples of
+      int ids, in exactly the order :meth:`Interconnect.neighbors` /
+      :meth:`Interconnect.reachable_in_one` yield them (candidate order is
+      part of the mapper's observable behaviour — artifacts are
+      content-addressed, so iteration order must never drift);
+    * ``manhattan`` — the all-pairs Manhattan distance matrix (the router's
+      pruning bound and the placer's anchor metric);
+    * ``hop_dist`` — the all-pairs true hop-distance matrix (BFS over the
+      actual links, so it respects ``diagonal``/``torus`` flavours).
+
+    Everything is a flat tuple of tuples: reads are two indexed loads, no
+    hashing anywhere.
+    """
+
+    def __init__(self, ic: "Interconnect") -> None:
+        self.rows = ic.rows
+        self.cols = ic.cols
+        self.num_pes = ic.num_pes
+        self.coords: tuple[Coord, ...] = tuple(ic.coords())
+        self.id_of: dict[Coord, int] = {c: i for i, c in enumerate(self.coords)}
+        self.neighbor_ids: tuple[tuple[int, ...], ...] = tuple(
+            tuple(self.id_of[n] for n in ic.neighbors(c)) for c in self.coords
+        )
+        self.reach1_ids: tuple[tuple[int, ...], ...] = tuple(
+            (i,) + nbrs for i, nbrs in enumerate(self.neighbor_ids)
+        )
+        self.manhattan: tuple[tuple[int, ...], ...] = tuple(
+            tuple(a.manhattan(b) for b in self.coords) for a in self.coords
+        )
+        self.hop_dist: tuple[tuple[int, ...], ...] = tuple(
+            self._bfs_dists(i) for i in range(self.num_pes)
+        )
+
+    def _bfs_dists(self, src: int) -> tuple[int, ...]:
+        dist = [-1] * self.num_pes
+        dist[src] = 0
+        q = deque([src])
+        while q:
+            u = q.popleft()
+            for v in self.neighbor_ids[u]:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    q.append(v)
+        return tuple(dist)
 
 
 class Interconnect:
@@ -58,6 +115,7 @@ class Interconnect:
         self._neighbors: dict[Coord, tuple[Coord, ...]] = {}
         for c in self.coords():
             self._neighbors[c] = tuple(self._compute_neighbors(c))
+        self._grid_index: GridIndex | None = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -101,6 +159,13 @@ class Interconnect:
     def adjacent_or_same(self, a: Coord, b: Coord) -> bool:
         """True if *b*'s output register is readable by *a* (1-hop model)."""
         return a == b or b in self._neighbors[a]
+
+    @property
+    def grid_index(self) -> GridIndex:
+        """The integer view of this fabric, built once on first use."""
+        if self._grid_index is None:
+            self._grid_index = GridIndex(self)
+        return self._grid_index
 
     def index(self, c: Coord) -> int:
         """Row-major linear index of *c*."""

@@ -1,0 +1,189 @@
+"""Cold-compile speed bench: wall clock and search effort per kernel.
+
+``python -m repro.bench compile-speed`` cold-compiles every suite kernel
+on one grid (no artifact cache — the mapper runs for real), prints a table
+of per-job wall clock split by mapper phase plus the search-effort
+counters from :mod:`repro.compiler.stats` (state expansions, BFS/DFS
+route searches, placement probes, memo-table hits), and records the run
+as a labelled entry in ``BENCH_compile_speed.json`` at the repository
+root.  Entries accumulate across PRs, so the file is a trajectory: the
+first entry is the pre-optimisation baseline and the report's geomean
+speedup compares the latest run against it.
+
+The jobs here are exactly the Fig. 8 suite configurations
+(:func:`repro.bench.fig8.page_sizes_for`), so the timings measure the
+compiles the experiment pipeline actually performs on a cold cache.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.fig8 import page_sizes_for
+from repro.kernels import kernel_names
+from repro.pipeline.compile import CompileJob, CompileStats, compile_job_stats
+
+__all__ = [
+    "run_compile_speed",
+    "geomean_speedup",
+    "render_report",
+    "update_bench_file",
+    "main",
+]
+
+DEFAULT_OUT = "BENCH_compile_speed.json"
+
+# Minimum per-job seconds used in ratio math: records round to 1 ms and
+# trivial kernels compile faster than timer noise.
+_FLOOR_SECONDS = 1e-3
+
+
+def _job_key(kernel: str, page_size: int) -> str:
+    return f"{kernel}/ps{page_size}"
+
+
+def run_compile_speed(
+    *,
+    size: int = 4,
+    kernels: Sequence[str] | None = None,
+    page_sizes: Sequence[int] | None = None,
+    seed: int = 0,
+) -> list[CompileStats]:
+    """Cold-compile the suite and return one :class:`CompileStats` per job."""
+    names = list(kernels) if kernels else kernel_names()
+    sizes = list(page_sizes) if page_sizes else page_sizes_for(size)
+    stats: list[CompileStats] = []
+    for kernel in names:
+        for ps in sizes:
+            _, st = compile_job_stats(CompileJob(kernel, size, ps, seed=seed))
+            stats.append(st)
+    return stats
+
+
+def geomean_speedup(
+    baseline: dict[str, float], current: dict[str, float]
+) -> float | None:
+    """Geometric-mean per-job speedup of *current* over *baseline* (shared
+    job keys only).  ``None`` when the runs share no jobs."""
+    ratios = []
+    for key, base_s in baseline.items():
+        cur_s = current.get(key)
+        if cur_s is None:
+            continue
+        ratios.append(
+            math.log(max(base_s, _FLOOR_SECONDS) / max(cur_s, _FLOOR_SECONDS))
+        )
+    if not ratios:
+        return None
+    return math.exp(sum(ratios) / len(ratios))
+
+
+def _seconds_by_job(entry: dict) -> dict[str, float]:
+    return {key: rec["seconds"] for key, rec in entry["jobs"].items()}
+
+
+def render_report(stats: Sequence[CompileStats], history: dict | None = None) -> str:
+    """Table of per-job timings and search counters, plus the speedup
+    against the first (baseline) entry of *history* when one exists."""
+    header = (
+        f"{'kernel':<10} {'ps':>2} {'seconds':>8} {'base_s':>7} {'paged_s':>8} "
+        f"{'expand':>9} {'probes':>7} {'bfs':>6} {'dfs':>7} {'memo_hits':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for st in stats:
+        c = st.counters
+        memo = c.get("target_cache_hits", 0) + c.get("move_cache_hits", 0)
+        lines.append(
+            f"{st.kernel:<10} {st.page_size:>2} {st.seconds:>8.3f} "
+            f"{st.base_map_seconds:>7.3f} {st.paged_map_seconds:>8.3f} "
+            f"{c.get('expansions', 0):>9} {c.get('placement_probes', 0):>7} "
+            f"{c.get('bfs_calls', 0):>6} {c.get('dfs_calls', 0):>7} {memo:>9}"
+        )
+    total = sum(st.seconds for st in stats)
+    lines.append(f"total: {total:.2f}s over {len(stats)} cold compile(s)")
+    entries = (history or {}).get("entries", [])
+    if entries:
+        base = entries[0]
+        current = {_job_key(st.kernel, st.page_size): st.seconds for st in stats}
+        speedup = geomean_speedup(_seconds_by_job(base), current)
+        if speedup is not None:
+            lines.append(
+                f"geomean speedup vs '{base['label']}': {speedup:.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def _entry_from_stats(
+    stats: Sequence[CompileStats], label: str, seed: int
+) -> dict:
+    totals: dict[str, int] = {}
+    jobs = {}
+    for st in stats:
+        jobs[_job_key(st.kernel, st.page_size)] = st.as_record()
+        for name, value in st.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d"),
+        "seed": seed,
+        "total_seconds": round(sum(st.seconds for st in stats), 3),
+        "counters_total": totals,
+        "jobs": jobs,
+    }
+
+
+def update_bench_file(
+    path: Path, stats: Sequence[CompileStats], *, label: str, seed: int
+) -> dict:
+    """Insert/replace the *label* entry in the bench file and refresh the
+    headline geomean (latest entry vs the file's first entry)."""
+    if path.exists():
+        data = json.loads(path.read_text())
+    else:
+        data = {"bench": "compile_speed", "entries": []}
+    entry = _entry_from_stats(stats, label, seed)
+    entries = [e for e in data["entries"] if e["label"] != label]
+    entries.append(entry)
+    data["entries"] = entries
+    if len(entries) >= 2:
+        speedup = geomean_speedup(
+            _seconds_by_job(entries[0]), _seconds_by_job(entries[-1])
+        )
+        if speedup is not None:
+            data["geomean_speedup_vs_baseline"] = round(speedup, 2)
+            data["baseline_label"] = entries[0]["label"]
+            data["current_label"] = entries[-1]["label"]
+    path.write_text(json.dumps(data, indent=1, sort_keys=False) + "\n")
+    return data
+
+
+def main(args) -> int:
+    """``python -m repro.bench compile-speed`` body (argparse namespace)."""
+    kernels = args.kernels.split(",") if args.kernels else None
+    page_sizes = (
+        [int(p) for p in args.page_sizes.split(",")] if args.page_sizes else None
+    )
+    size = args.size or 4
+    stats = run_compile_speed(
+        size=size, kernels=kernels, page_sizes=page_sizes, seed=args.seed
+    )
+    out = Path(args.out or DEFAULT_OUT)
+    history = json.loads(out.read_text()) if out.exists() else None
+    print(render_report(stats, history))
+    if args.dry_run:
+        print(f"[dry-run] not updating {out}")
+        return 0
+    partial = kernels is not None or page_sizes is not None
+    if partial and args.label == "current":
+        # Partial sweeps (CI smoke) must not overwrite the full-suite entry.
+        print(f"[skip] partial kernel/page-size selection; not updating {out}")
+        return 0
+    data = update_bench_file(out, stats, label=args.label, seed=args.seed)
+    speedup = data.get("geomean_speedup_vs_baseline")
+    suffix = f" (geomean speedup {speedup}x)" if speedup else ""
+    print(f"[write] {out}: entry '{args.label}'{suffix}")
+    return 0

@@ -7,6 +7,7 @@ Every paper artifact has a named experiment that regenerates it::
     python -m repro.bench fig9_8x8 --page-size 4
     python -m repro.bench headline
     python -m repro.bench all --workers 8
+    python -m repro.bench compile-speed --kernels mpeg,wavelet --dry-run
 
 All compilation goes through :mod:`repro.pipeline`; ``--workers N`` fans a
 cold cache out over N processes, and after each experiment the CLI reports
@@ -105,10 +106,37 @@ def _parser() -> argparse.ArgumentParser:
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
     )
-    p.add_argument("experiment", choices=[*EXPERIMENTS, "all", "list"])
+    p.add_argument(
+        "experiment", choices=[*EXPERIMENTS, "compile-speed", "all", "list"]
+    )
     p.add_argument("--page-size", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--repeats", type=int, default=2)
+    # compile-speed options (ignored by the figure experiments)
+    p.add_argument("--size", type=int, default=None, help="grid size (compile-speed)")
+    p.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated kernel subset (compile-speed; default: full suite)",
+    )
+    p.add_argument(
+        "--page-sizes",
+        default=None,
+        help="comma-separated page sizes (compile-speed; default: suite set)",
+    )
+    p.add_argument(
+        "--label",
+        default="current",
+        help="entry label recorded in the bench file (compile-speed)",
+    )
+    p.add_argument(
+        "--out", default=None, help="bench JSON path (compile-speed)"
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the report without updating the bench file (compile-speed)",
+    )
     p.add_argument(
         "--workers",
         type=int,
@@ -125,8 +153,14 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.experiment == "list":
-        print("\n".join(EXPERIMENTS))
+        print("\n".join([*EXPERIMENTS, "compile-speed"]))
         return 0
+    if args.experiment == "compile-speed":
+        # Deliberately cache-free (it measures the mapper, not the store),
+        # so it bypasses the ArtifactStore loop below.
+        from repro.bench.compile_speed import main as compile_speed_main
+
+        return compile_speed_main(args)
     store = ArtifactStore()
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

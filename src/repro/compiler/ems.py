@@ -22,7 +22,7 @@ generating the original schedule" (§I).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
 from repro.arch.cgra import CGRA
@@ -37,14 +37,16 @@ from repro.compiler.mapping import (
 )
 from repro.compiler.mrt import ReservationTable
 from repro.compiler.routing import (
+    RoutingContext,
     commit_route,
-    find_route,
-    find_route_shared,
+    find_route_shared_ids,
     release_route,
 )
+from repro.compiler.stats import COUNTERS
 from repro.dfg.analysis import alap_times, asap_times, rec_mii
 from repro.dfg.graph import DFG
 from repro.util.errors import MappingError
+from repro.util.fingerprint import canonical_fingerprint
 from repro.util.rng import make_rng
 
 __all__ = ["MapperConfig", "EMSMapper", "map_dfg"]
@@ -68,19 +70,20 @@ class MapperConfig:
     def fingerprint(self) -> str:
         """Canonical hash over every knob — any tuning change invalidates
         cached artifacts keyed on it (:mod:`repro.pipeline`)."""
-        from dataclasses import asdict
-
-        from repro.util.fingerprint import canonical_fingerprint
-
         return canonical_fingerprint(asdict(self))
 
 
 @dataclass
 class _Attempt:
-    """Mutable state of one placement attempt."""
+    """Mutable state of one placement attempt.
+
+    ``placements`` maps op id to ``(pe_id, time)`` in the integer PE-id
+    domain of the fabric's grid index; :class:`Placement` objects (with
+    ``Coord``) are only materialized for the final :class:`Mapping`.
+    """
 
     mrt: ReservationTable
-    placements: dict[int, Placement] = field(default_factory=dict)
+    placements: dict[int, tuple[int, int]] = field(default_factory=dict)
     routes: dict[int, Route] = field(default_factory=dict)
 
 
@@ -119,6 +122,36 @@ class EMSMapper:
             if mem_slots_per_cycle is not None
             else cgra.rows * cgra.mem_ports_per_row
         )
+        # Integer-domain hot-path tables (see GridIndex/RoutingContext):
+        # everything the placer and router touch per candidate is an
+        # indexed load over these, never a Coord hash.
+        gi = cgra.grid_index
+        self._gi = gi
+        self._allowed_ids: tuple[int, ...] = tuple(
+            gi.id_of[pe] for pe in self.allowed_pes
+        )
+        self._route_ctx = RoutingContext(cgra, hop_allowed)
+        # escape direction (pe -> nb) shares the router's allowed-move table
+        self._esc_ids = self._route_ctx.allowed_moves
+        if hop_allowed is None:
+            self._arr_ids = gi.reach1_ids
+        else:
+            coords = gi.coords
+            self._arr_ids = tuple(
+                tuple(
+                    q
+                    for q in gi.reach1_ids[p]
+                    if hop_allowed(coords[q], coords[p])
+                )
+                for p in range(gi.num_pes)
+            )
+        # fabric rank per PE id (None where pe_rank is unset/undefined)
+        if pe_rank is None:
+            self._rank_ids = None
+        else:
+            self._rank_ids = [0] * gi.num_pes
+            for pe in self.allowed_pes:
+                self._rank_ids[gi.id_of[pe]] = pe_rank(pe)
 
     # -- public API ---------------------------------------------------------------
 
@@ -223,7 +256,12 @@ class EMSMapper:
         for op_id in order:
             if not self._place_op(dfg, ii, st, op_id, asap, horizon):
                 return None
-        return Mapping(self.cgra, dfg, ii, st.placements, st.routes)
+        coords = self._gi.coords
+        placements = {
+            op_id: Placement(op_id, coords[pe_id], t)
+            for op_id, (pe_id, t) in st.placements.items()
+        }
+        return Mapping(self.cgra, dfg, ii, placements, st.routes)
 
     def _spread_targets(self, dfg: DFG, order: list[int]) -> dict[int, int]:
         """Target fabric rank per op when a ``pe_rank`` is set.
@@ -293,14 +331,14 @@ class EMSMapper:
         t_lo = max(
             [asap[op_id]]
             + [
-                st.placements[e.src].time - e.distance * ii + 1
+                st.placements[e.src][1] - e.distance * ii + 1
                 for e in pred_edges
             ]
         )
         t_lo = max(t_lo, 0)
         t_hi = horizon
         for e in succ_edges:
-            t_hi = min(t_hi, st.placements[e.dst].time + e.distance * ii - 1)
+            t_hi = min(t_hi, st.placements[e.dst][1] + e.distance * ii - 1)
         if t_lo > t_hi:
             return False
         if not pred_edges and not succ_edges and dfg.in_edges(op_id):
@@ -309,24 +347,26 @@ class EMSMapper:
             # chain to route through the mesh; start them a margin later.
             t_lo = min(t_lo + self.config.root_margin + ii // 2, t_hi)
 
-        anchor_pes = [st.placements[e.src].pe for e in pred_edges] + [
-            st.placements[e.dst].pe for e in succ_edges
+        anchor_ids = [st.placements[e.src][0] for e in pred_edges] + [
+            st.placements[e.dst][0] for e in succ_edges
         ]
-        candidates = self._candidate_pes(anchor_pes, op_id)
+        candidates = self._candidate_pes(anchor_ids, op_id)
 
         # Cost-based selection: tentatively commit feasible candidates,
         # score them, keep the best.  Each extra cycle of gap costs a route
         # slot, so time and route length are the same currency; the escape
         # term keeps producers' neighbourhoods breathable so later
         # consumers can still be reached (greedy dead-end avoidance).
-        best: tuple[float, Coord, int] | None = None
+        best: tuple[float, int, int] | None = None
         feasible_seen = 0
         evals = 0
+        mrt = st.mrt
         for t in range(t_lo, t_hi + 1):
             for pe in candidates:
-                if not st.mrt.slot_free(pe, t):
+                COUNTERS.placement_probes += 1
+                if not mrt.slot_free_id(pe, t):
                     continue
-                if op.is_memory and not st.mrt.bus_free(pe, t):
+                if op.is_memory and not mrt.bus_free_id(pe, t):
                     continue
                 evals += 1
                 cost = self._trial_cost(
@@ -353,7 +393,7 @@ class EMSMapper:
         )
 
     def _trial_cost(
-        self, dfg, ii, st, op_id, pe, t, pred_edges, succ_edges, self_edges
+        self, dfg, ii, st, op_id, pe_id, t, pred_edges, succ_edges, self_edges
     ) -> float | None:
         """Score a candidate slot by committing it and rolling back.
 
@@ -361,8 +401,9 @@ class EMSMapper:
         Cost = route slots consumed + congestion of this PE's 1-hop
         neighbourhood at the next cycle (the value's escape room).
         """
+        COUNTERS.trial_commits += 1
         if not self._commit_candidate(
-            dfg, ii, st, op_id, pe, t, pred_edges, succ_edges, self_edges
+            dfg, ii, st, op_id, pe_id, t, pred_edges, succ_edges, self_edges
         ):
             return None
         route_slots = sum(
@@ -378,44 +419,52 @@ class EMSMapper:
         has_open_pred = any(
             e.src not in st.placements for e in dfg.in_edges(op_id)
         )
+        mrt = st.mrt
         blocked = 0
-        for nb in self.cgra.interconnect.reachable_in_one(pe):
-            if has_open_succ and not st.mrt.slot_free(nb, t + 1):
-                if self.hop_allowed is None or self.hop_allowed(pe, nb):
+        if has_open_succ:
+            for nb in self._esc_ids[pe_id]:
+                if not mrt.slot_free_id(nb, t + 1):
                     blocked += 1
-            if has_open_pred and t >= 1 and not st.mrt.slot_free(nb, t - 1):
-                if self.hop_allowed is None or self.hop_allowed(nb, pe):
+        if has_open_pred and t >= 1:
+            for nb in self._arr_ids[pe_id]:
+                if not mrt.slot_free_id(nb, t - 1):
                     blocked += 1
         self._rollback(dfg, st, op_id, pred_edges, succ_edges, self_edges)
         return route_slots + 0.6 * blocked
 
     def _rollback(self, dfg, st, op_id, pred_edges, succ_edges, self_edges) -> None:
-        p = st.placements.pop(op_id)
+        pe_id, t = st.placements.pop(op_id)
         for e in (*pred_edges, *succ_edges, *self_edges):
             release_route(st.mrt, st.routes.pop(e.id).steps)
-        st.mrt.release(p.pe, p.time, memory=dfg.ops[op_id].is_memory)
+        st.mrt.release_id(pe_id, t, memory=dfg.ops[op_id].is_memory)
 
     def _candidate_pes(
-        self, anchors: list[Coord], op_id: int | None = None
-    ) -> list[Coord]:
+        self, anchor_ids: list[int], op_id: int | None = None
+    ) -> list[int]:
+        """Candidate PE ids, closest-to-anchors first.  The final tie-break
+        is the PE id itself, which equals the old Coord (row, col) ordering
+        — row-major ids are order-isomorphic to Coord's lexicographic
+        order, so candidate order is unchanged from the Coord-domain
+        placer."""
         target = self._rank_targets.get(op_id) if op_id is not None else None
-        rank_bias = (
-            (lambda pe: abs(self.pe_rank(pe) - target))
-            if self.pe_rank is not None and target is not None
-            else (lambda pe: 0)
-        )
-        if anchors:
+        ranks = self._rank_ids
+        man = self._gi.manhattan
+        if ranks is not None and target is not None:
+            rank_bias = lambda pid: abs(ranks[pid] - target)  # noqa: E731
+        else:
+            rank_bias = lambda pid: 0  # noqa: E731
+        if anchor_ids:
             return sorted(
-                self.allowed_pes,
-                key=lambda pe: (
-                    sum(pe.manhattan(a) for a in anchors),
-                    rank_bias(pe),
-                    pe,
+                self._allowed_ids,
+                key=lambda pid: (
+                    sum(man[pid][a] for a in anchor_ids),
+                    rank_bias(pid),
+                    pid,
                 ),
             )
-        if self.pe_rank is not None and target is not None:
-            return sorted(self.allowed_pes, key=lambda pe: (rank_bias(pe), pe))
-        return list(self.allowed_pes)
+        if ranks is not None and target is not None:
+            return sorted(self._allowed_ids, key=lambda pid: (rank_bias(pid), pid))
+        return list(self._allowed_ids)
 
     def _commit_candidate(
         self,
@@ -423,7 +472,7 @@ class EMSMapper:
         ii: int,
         st: _Attempt,
         op_id: int,
-        pe: Coord,
+        pe_id: int,
         t: int,
         pred_edges,
         succ_edges,
@@ -434,14 +483,15 @@ class EMSMapper:
         including when the commit would *trap* another placed op by taking
         the last free arrival/escape slot one of its unrouted edges needs."""
         op = dfg.ops[op_id]
-        st.mrt.claim(pe, t, f"op{op_id}", memory=op.is_memory)
+        st.mrt.claim_id(pe_id, t, f"op{op_id}", memory=op.is_memory)
         routed: list[tuple[int, tuple[RouteStep, ...], RouteStep | None]] = []
         local_routes: dict[int, tuple[RouteStep, ...]] = {}
+        id_of = self._gi.id_of
 
-        def sources_for(src_op_id: int, src_pe, src_time_eff, distance):
+        def sources_for(src_op_id: int, src_id, src_time_eff, distance):
             """Tappable holders of the value: the producer plus every step
             of sibling routes carrying it (fanout sharing)."""
-            out = [(src_pe, src_time_eff, None)]
+            out = [(src_id, src_time_eff, None)]
             for e2 in dfg.out_edges(src_op_id):
                 if e2.distance != distance:
                     continue
@@ -449,17 +499,16 @@ class EMSMapper:
                 if steps2 is None and e2.id in st.routes:
                     steps2 = st.routes[e2.id].steps
                 for s2 in steps2 or ():
-                    out.append((s2.pe, s2.time, s2))
+                    out.append((id_of[s2.pe], s2.time, s2))
             return out
 
-        def route_edge(e, src_pe, src_time_eff, dst_pe, dst_time) -> bool:
-            found = find_route_shared(
-                self.cgra,
+        def route_edge(e, src_id, src_time_eff, dst_id, dst_time) -> bool:
+            found = find_route_shared_ids(
+                self._route_ctx,
                 st.mrt,
-                sources_for(e.src, src_pe, src_time_eff, e.distance),
-                dst_pe,
+                sources_for(e.src, src_id, src_time_eff, e.distance),
+                dst_id,
                 dst_time,
-                hop_allowed=self.hop_allowed,
                 max_expansions=self.config.route_budget,
             )
             if found is None:
@@ -472,29 +521,29 @@ class EMSMapper:
 
         ok = True
         for e in self_edges:
-            if not route_edge(e, pe, t - e.distance * ii, pe, t):
+            if not route_edge(e, pe_id, t - e.distance * ii, pe_id, t):
                 ok = False
                 break
         for e in pred_edges if ok else ():
-            src = st.placements[e.src]
-            if not route_edge(e, src.pe, src.time - e.distance * ii, pe, t):
+            src_id, src_t = st.placements[e.src]
+            if not route_edge(e, src_id, src_t - e.distance * ii, pe_id, t):
                 ok = False
                 break
         if ok:
             for e in succ_edges:
-                dst = st.placements[e.dst]
-                if not route_edge(e, pe, t - e.distance * ii, dst.pe, dst.time):
+                dst_id, dst_t = st.placements[e.dst]
+                if not route_edge(e, pe_id, t - e.distance * ii, dst_id, dst_t):
                     ok = False
                     break
         if ok:
-            st.placements[op_id] = Placement(op_id, pe, t)
+            st.placements[op_id] = (pe_id, t)
             if self._traps_pending_edge(dfg, ii, st):
                 del st.placements[op_id]
                 ok = False
         if not ok:
             for _, steps, _tap in routed:
                 release_route(st.mrt, steps)
-            st.mrt.release(pe, t, memory=op.is_memory)
+            st.mrt.release_id(pe_id, t, memory=op.is_memory)
             return False
         for edge_id, steps, tap in routed:
             st.routes[edge_id] = Route(edge_id, steps, tap)
@@ -515,7 +564,10 @@ class EMSMapper:
         candidates that exhaust these slots is what keeps the greedy from
         painting itself into a corner on load/const-heavy graphs.
         """
-        for u_id, pu in st.placements.items():
+        mrt = st.mrt
+        arr_ids = self._arr_ids
+        esc_ids = self._esc_ids
+        for u_id, (u_pe, u_t) in st.placements.items():
             pending_in = sum(
                 1
                 for e in dfg.in_edges(u_id)
@@ -527,22 +579,14 @@ class EMSMapper:
             )
             if pending_in:
                 free = 0
-                for nb in self.cgra.interconnect.reachable_in_one(pu.pe):
-                    if self.hop_allowed is not None and not self.hop_allowed(
-                        nb, pu.pe
-                    ):
-                        continue
-                    if st.mrt.slot_free(nb, pu.time - 1):
+                for nb in arr_ids[u_pe]:
+                    if mrt.slot_free_id(nb, u_t - 1):
                         free += 1
                 if free < min(pending_in, 2):
                     return True
             if pending_out:
                 if not any(
-                    st.mrt.slot_free(nb, pu.time + 1)
-                    and (
-                        self.hop_allowed is None or self.hop_allowed(pu.pe, nb)
-                    )
-                    for nb in self.cgra.interconnect.reachable_in_one(pu.pe)
+                    mrt.slot_free_id(nb, u_t + 1) for nb in esc_ids[u_pe]
                 ):
                     return True
         return False

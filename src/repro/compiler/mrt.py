@@ -14,11 +14,25 @@ transformation stacks page instances onto fewer tiles, each tile carries at
 most one page instance per cycle, so per-page bus budgets remain valid on
 the physical tile.  (With a monolithic per-grid-row bus, folding two pages
 that each legally used the row's bus would oversubscribe it.)
+
+Storage model: one flat ``ii x num_pes`` occupancy array indexed by
+``modulo_slot * num_pes + pe_id`` (PE ids from the fabric's
+:class:`~repro.arch.interconnect.GridIndex`), a free-slot counter per
+modulo slot, and a flat per-(bus segment, modulo slot) use-count array.
+Every query the mapper's inner loops issue — ``slot_free``,
+``free_slots_at``, ``bus_free`` — is O(1) array arithmetic, and ``copy``
+is three ``list.copy`` calls.  The Coord-taking methods remain the public
+API; the ``*_id`` variants are the hot-path entry points for callers that
+already hold integer PE ids.
+
+Bus segments are interned lazily: ``bus_key`` is only ever invoked for PEs
+that actually issue memory operations, so a key function that rejects some
+PEs (e.g. :func:`~repro.compiler.constraints.paged_bus_key` raising on
+uncovered PEs) behaves exactly as it did with the dict-backed table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
 from repro.arch.cgra import CGRA
@@ -29,75 +43,163 @@ __all__ = ["ReservationTable"]
 
 BusKey = Callable[[Coord], Hashable]
 
+_UNKNOWN_BUS = -1
 
-@dataclass
+
 class ReservationTable:
     """Slot and bus bookkeeping for one mapping attempt."""
 
-    cgra: CGRA
-    ii: int
-    bus_key: BusKey | None = None
-    slots: dict[tuple[Coord, int], str] = field(default_factory=dict)
-    bus: dict[tuple[Hashable, int], int] = field(default_factory=dict)
+    __slots__ = (
+        "cgra",
+        "ii",
+        "bus_key",
+        "num_pes",
+        "_occ",
+        "_free",
+        "_bus_of_pe",
+        "_bus_segments",
+        "_bus_use",
+        "_bus_cap",
+    )
 
-    def __post_init__(self) -> None:
-        if self.ii < 1:
-            raise MappingError(f"II must be >= 1, got {self.ii}")
-        if self.bus_key is None:
-            self.bus_key = lambda pe: pe.row
+    def __init__(
+        self,
+        cgra: CGRA,
+        ii: int,
+        bus_key: BusKey | None = None,
+    ) -> None:
+        if ii < 1:
+            raise MappingError(f"II must be >= 1, got {ii}")
+        self.cgra = cgra
+        self.ii = ii
+        if bus_key is None:
+            bus_key = lambda pe: pe.row  # noqa: E731 - default segment: grid row
+        self.bus_key = bus_key
+        self.num_pes = cgra.num_pes
+        # occupancy label per (modulo slot, PE), flat; None == free
+        self._occ: list[str | None] = [None] * (ii * self.num_pes)
+        # free-PE count per modulo slot (makes free_slots_at O(1))
+        self._free: list[int] = [self.num_pes] * ii
+        # lazily interned bus segments: pe_id -> segment index
+        self._bus_of_pe: list[int] = [_UNKNOWN_BUS] * self.num_pes
+        self._bus_segments: dict[Hashable, int] = {}
+        # use count per (segment, modulo slot), flat [seg * ii + slot]
+        self._bus_use: list[int] = []
+        self._bus_cap = cgra.mem_ports_per_row
 
-    # -- queries ------------------------------------------------------------------
+    # -- id plumbing ---------------------------------------------------------------
+
+    def _bus_id(self, pe_id: int) -> int:
+        """Interned bus-segment index of *pe_id* (calls ``bus_key`` once
+        per PE, ever — including its error behaviour for rejected PEs)."""
+        b = self._bus_of_pe[pe_id]
+        if b == _UNKNOWN_BUS:
+            key = self.bus_key(self.cgra.grid_index.coords[pe_id])
+            b = self._bus_segments.get(key, -1)
+            if b < 0:
+                b = len(self._bus_segments)
+                self._bus_segments[key] = b
+                self._bus_use.extend([0] * self.ii)
+            self._bus_of_pe[pe_id] = b
+        return b
+
+    # -- queries (Coord API) -------------------------------------------------------
 
     def slot_free(self, pe: Coord, time: int) -> bool:
-        return (pe, time % self.ii) not in self.slots
+        return self._occ[(time % self.ii) * self.num_pes + self.cgra.grid_index.id_of[pe]] is None
 
     def occupant(self, pe: Coord, time: int) -> str | None:
-        return self.slots.get((pe, time % self.ii))
+        return self._occ[(time % self.ii) * self.num_pes + self.cgra.grid_index.id_of[pe]]
 
     def bus_free(self, pe: Coord, time: int) -> bool:
         """Can a memory op on *pe* use its bus segment at this modulo slot?"""
-        used = self.bus.get((self.bus_key(pe), time % self.ii), 0)
-        return used < self.cgra.mem_ports_per_row
+        return self.bus_free_id(self.cgra.grid_index.id_of[pe], time)
 
     def free_slots_at(self, time: int) -> int:
-        m = time % self.ii
-        return self.cgra.num_pes - sum(1 for (_, t) in self.slots if t == m)
+        return self._free[time % self.ii]
+
+    # -- queries (integer fast path) -----------------------------------------------
+
+    def slot_free_id(self, pe_id: int, time: int) -> bool:
+        return self._occ[(time % self.ii) * self.num_pes + pe_id] is None
+
+    def bus_free_id(self, pe_id: int, time: int) -> bool:
+        used = self._bus_use[self._bus_id(pe_id) * self.ii + time % self.ii]
+        return used < self._bus_cap
 
     # -- mutation ------------------------------------------------------------------
 
     def claim(self, pe: Coord, time: int, label: str, *, memory: bool = False) -> None:
-        key = (pe, time % self.ii)
-        if key in self.slots:
+        self.claim_id(self.cgra.grid_index.id_of[pe], time, label, memory=memory)
+
+    def claim_id(
+        self, pe_id: int, time: int, label: str, *, memory: bool = False
+    ) -> None:
+        m = time % self.ii
+        idx = m * self.num_pes + pe_id
+        old = self._occ[idx]
+        if old is not None:
+            pe = self.cgra.grid_index.coords[pe_id]
             raise MappingError(
-                f"slot ({pe}, mod {time % self.ii}) already claimed by "
-                f"{self.slots[key]}, cannot add {label}"
+                f"slot ({pe}, mod {m}) already claimed by {old}, "
+                f"cannot add {label}"
             )
-        if memory and not self.bus_free(pe, time):
-            raise MappingError(
-                f"bus segment {self.bus_key(pe)} full at modulo slot "
-                f"{time % self.ii}"
-            )
-        self.slots[key] = label
         if memory:
-            bkey = (self.bus_key(pe), time % self.ii)
-            self.bus[bkey] = self.bus.get(bkey, 0) + 1
+            b = self._bus_id(pe_id)
+            if self._bus_use[b * self.ii + m] >= self._bus_cap:
+                pe = self.cgra.grid_index.coords[pe_id]
+                raise MappingError(
+                    f"bus segment {self.bus_key(pe)} full at modulo slot {m}"
+                )
+            self._bus_use[b * self.ii + m] += 1
+        self._occ[idx] = label
+        self._free[m] -= 1
 
     def release(self, pe: Coord, time: int, *, memory: bool = False) -> None:
-        key = (pe, time % self.ii)
-        if key not in self.slots:
-            raise MappingError(f"slot ({pe}, mod {time % self.ii}) not claimed")
-        del self.slots[key]
+        self.release_id(self.cgra.grid_index.id_of[pe], time, memory=memory)
+
+    def release_id(self, pe_id: int, time: int, *, memory: bool = False) -> None:
+        m = time % self.ii
+        idx = m * self.num_pes + pe_id
+        if self._occ[idx] is None:
+            pe = self.cgra.grid_index.coords[pe_id]
+            raise MappingError(f"slot ({pe}, mod {m}) not claimed")
+        self._occ[idx] = None
+        self._free[m] += 1
         if memory:
-            bkey = (self.bus_key(pe), time % self.ii)
-            if self.bus.get(bkey, 0) <= 0:
-                raise MappingError(f"bus release underflow at {bkey}")
-            self.bus[bkey] -= 1
+            b = self._bus_id(pe_id)
+            if self._bus_use[b * self.ii + m] <= 0:
+                pe = self.cgra.grid_index.coords[pe_id]
+                raise MappingError(
+                    f"bus release underflow at {(self.bus_key(pe), m)}"
+                )
+            self._bus_use[b * self.ii + m] -= 1
 
     def copy(self) -> "ReservationTable":
-        return ReservationTable(
-            self.cgra, self.ii, self.bus_key, dict(self.slots), dict(self.bus)
-        )
+        dup = ReservationTable.__new__(ReservationTable)
+        dup.cgra = self.cgra
+        dup.ii = self.ii
+        dup.bus_key = self.bus_key
+        dup.num_pes = self.num_pes
+        dup._occ = self._occ.copy()
+        dup._free = self._free.copy()
+        dup._bus_of_pe = self._bus_of_pe.copy()
+        dup._bus_segments = dict(self._bus_segments)
+        dup._bus_use = self._bus_use.copy()
+        dup._bus_cap = self._bus_cap
+        return dup
 
     @property
     def occupancy(self) -> int:
-        return len(self.slots)
+        return self.ii * self.num_pes - sum(self._free)
+
+    @property
+    def slots(self) -> dict[tuple[Coord, int], str]:
+        """Dict view of the claimed slots (diagnostics/tests; not a hot
+        path — the storage itself is the flat array)."""
+        coords = self.cgra.grid_index.coords
+        out: dict[tuple[Coord, int], str] = {}
+        for idx, label in enumerate(self._occ):
+            if label is not None:
+                out[(coords[idx % self.num_pes], idx // self.num_pes)] = label
+        return out

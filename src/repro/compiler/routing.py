@@ -16,6 +16,16 @@ a page or cross to the ring-successor page).
 When a route is longer than the II, a PE could collide with the route's own
 earlier steps modulo II; the search then switches from layered BFS to a
 depth-first search that tracks the slots used along the partial path.
+
+The searches run entirely on integer PE ids from the fabric's
+:class:`~repro.arch.interconnect.GridIndex`: a :class:`RoutingContext`
+pins one (fabric, hop filter) pair and memoizes the per-PE allowed-move
+lists, the per-(PE, destination-hint) greedy move orderings, and the
+per-destination goal tables (goal PEs sorted by PE id, a membership mask,
+the min-Manhattan-to-goal pruning bound, and the greedy destination
+*hint*).  Route choice is a pure function of these explicit tables — the
+search itself never consults set iteration order.  ``Coord`` objects only
+appear at the public API boundary.
 """
 
 from __future__ import annotations
@@ -26,10 +36,125 @@ from repro.arch.cgra import CGRA
 from repro.arch.interconnect import Coord
 from repro.compiler.mapping import RouteStep
 from repro.compiler.mrt import ReservationTable
+from repro.compiler.stats import COUNTERS
 
-__all__ = ["find_route", "find_route_shared", "commit_route", "release_route"]
+__all__ = [
+    "RoutingContext",
+    "find_route",
+    "find_route_shared",
+    "commit_route",
+    "release_route",
+]
 
 HopFilter = Callable[[Coord, Coord], bool]
+
+#: Pruning distance for states when the goal set is empty (no PE can ever
+#: satisfy ``dist > remaining`` being False): larger than any grid distance.
+_UNREACHABLE = 1 << 30
+
+
+class RoutingContext:
+    """Memoized integer-domain routing tables for one (fabric, hop filter).
+
+    Built once per mapper (or per standalone :func:`find_route` call) and
+    consulted millions of times: every table is an indexed load, computed
+    lazily on first use and reused for the rest of the mapping run.
+    """
+
+    __slots__ = ("gi", "hop_allowed", "allowed_moves", "_moves_toward", "_goals")
+
+    def __init__(self, cgra: CGRA, hop_allowed: HopFilter | None = None) -> None:
+        gi = cgra.grid_index
+        self.gi = gi
+        self.hop_allowed = hop_allowed
+        if hop_allowed is None:
+            # identical order to Interconnect.reachable_in_one: self first
+            self.allowed_moves: tuple[tuple[int, ...], ...] = gi.reach1_ids
+        else:
+            coords = gi.coords
+            self.allowed_moves = tuple(
+                tuple(
+                    q
+                    for q in gi.reach1_ids[p]
+                    if hop_allowed(coords[p], coords[q])
+                )
+                for p in range(gi.num_pes)
+            )
+        # (pe, hint) -> allowed moves stably sorted by Manhattan-to-hint
+        self._moves_toward: list[dict[int, tuple[int, ...]]] = [
+            {} for _ in range(gi.num_pes)
+        ]
+        # dst -> (goal ids sorted, membership mask, min-dist-to-goal, hint)
+        self._goals: dict[
+            int,
+            tuple[tuple[int, ...], tuple[bool, ...], tuple[int, ...], int | None],
+        ] = {}
+
+    def moves(self, pe_id: int, hint_id: int | None) -> tuple[int, ...]:
+        """Legal one-cycle moves from *pe_id*, greedily ordered toward the
+        destination hint (stable sort, so base adjacency order breaks
+        ties exactly as the Coord-domain router did)."""
+        if hint_id is None:
+            return self.allowed_moves[pe_id]
+        memo = self._moves_toward[pe_id]
+        out = memo.get(hint_id)
+        if out is None:
+            row = self.gi.manhattan[hint_id]
+            out = tuple(sorted(self.allowed_moves[pe_id], key=row.__getitem__))
+            memo[hint_id] = out
+        else:
+            COUNTERS.move_cache_hits += 1
+        return out
+
+    def goal_table(
+        self, dst_id: int
+    ) -> tuple[tuple[int, ...], tuple[bool, ...], tuple[int, ...], int | None]:
+        """Goal PEs from which the consumer at *dst_id* can read the value,
+        sorted by PE id, plus a membership mask, the per-PE minimum
+        Manhattan distance to any goal (the search's pruning bound), and
+        the greedy destination hint the move ordering anchors on.
+
+        The hint is pinned to the anchor the v1 Coord-domain router used
+        (the first element of its goal *set*): route tie-breaks are part of
+        the mapper's observable behaviour, and the committed artifact store
+        is content-addressed over it — changing the hint rule would change
+        routes and invalidate every stored artifact.  It is computed once
+        here and memoized, so the search itself only ever reads this
+        explicit table.
+        """
+        entry = self._goals.get(dst_id)
+        if entry is None:
+            gi = self.gi
+            coords = gi.coords
+            dst = coords[dst_id]
+            if self.hop_allowed is None:
+                unsorted_goal = list(gi.reach1_ids[dst_id])
+            else:
+                unsorted_goal = [
+                    p
+                    for p in gi.reach1_ids[dst_id]
+                    if self.hop_allowed(coords[p], dst)
+                ]
+            goal = sorted(unsorted_goal)
+            mask = [False] * gi.num_pes
+            for g in goal:
+                mask[g] = True
+            if goal:
+                man = gi.manhattan
+                min_dist = tuple(
+                    min(man[q][g] for g in goal) for q in range(gi.num_pes)
+                )
+                # legacy v1 anchor: first member of the goal built as a set
+                # of Coords in reachable_in_one insertion order
+                hint = gi.id_of[next(iter({coords[p] for p in unsorted_goal}))]
+            else:
+                min_dist = (_UNREACHABLE,) * gi.num_pes
+                hint = None
+            entry = (tuple(goal), tuple(mask), min_dist, hint)
+            self._goals[dst_id] = entry
+        else:
+            COUNTERS.target_cache_hits += 1
+        return entry
 
 
 def find_route_shared(
@@ -41,6 +166,7 @@ def find_route_shared(
     *,
     hop_allowed: HopFilter | None = None,
     max_expansions: int = 20000,
+    ctx: RoutingContext | None = None,
 ) -> tuple[tuple[RouteStep, ...], "RouteStep | None"] | None:
     """Route from the *best* of several value holders to the consumer.
 
@@ -50,32 +176,35 @@ def find_route_shared(
     Holders closest in time to the consumer are tried first, so shared
     chains are extended instead of duplicated.  Returns ``(steps, tap)``.
     """
+    if ctx is None:
+        ctx = RoutingContext(cgra, hop_allowed)
+    id_of = ctx.gi.id_of
+    ids = [(id_of[s[0]], s[1], s[2]) for s in sources]
+    return find_route_shared_ids(
+        ctx, mrt, ids, id_of[dst_pe], t_dst, max_expansions=max_expansions
+    )
+
+
+def find_route_shared_ids(
+    ctx: RoutingContext,
+    mrt: ReservationTable,
+    sources: list[tuple[int, int, "RouteStep | None"]],
+    dst_id: int,
+    t_dst: int,
+    *,
+    max_expansions: int = 20000,
+) -> tuple[tuple[RouteStep, ...], "RouteStep | None"] | None:
+    """Integer-domain :func:`find_route_shared` (hot-path entry point)."""
     ordered = sorted(
         (s for s in sources if t_dst - s[1] >= 1), key=lambda s: t_dst - s[1]
     )
-    for pe, time, tap in ordered:
-        steps = find_route(
-            cgra,
-            mrt,
-            pe,
-            time,
-            dst_pe,
-            t_dst,
-            hop_allowed=hop_allowed,
-            max_expansions=max_expansions,
+    for pe_id, time, tap in ordered:
+        steps = find_route_ids(
+            ctx, mrt, pe_id, time, dst_id, t_dst, max_expansions=max_expansions
         )
         if steps is not None:
             return steps, tap
     return None
-
-
-def _targets(cgra: CGRA, dst_pe: Coord, hop_allowed: HopFilter | None) -> set[Coord]:
-    """PEs from which the consumer at *dst_pe* can read the value."""
-    out = set()
-    for pe in cgra.interconnect.reachable_in_one(dst_pe):
-        if hop_allowed is None or hop_allowed(pe, dst_pe):
-            out.add(pe)
-    return out
 
 
 def find_route(
@@ -88,6 +217,7 @@ def find_route(
     *,
     hop_allowed: HopFilter | None = None,
     max_expansions: int = 20000,
+    ctx: RoutingContext | None = None,
 ) -> tuple[RouteStep, ...] | None:
     """Find route steps carrying a value from *src_pe* (produced at
     consumer-frame time *t_src_eff*) to the consumer at (*dst_pe*, *t_dst*).
@@ -97,120 +227,165 @@ def find_route(
     times are legal during search bookkeeping only in the consumer frame;
     modulo arithmetic maps them onto the repeating schedule.
     """
+    if ctx is None:
+        ctx = RoutingContext(cgra, hop_allowed)
+    id_of = ctx.gi.id_of
+    return find_route_ids(
+        ctx,
+        mrt,
+        id_of[src_pe],
+        t_src_eff,
+        id_of[dst_pe],
+        t_dst,
+        max_expansions=max_expansions,
+    )
+
+
+def find_route_ids(
+    ctx: RoutingContext,
+    mrt: ReservationTable,
+    src_id: int,
+    t_src_eff: int,
+    dst_id: int,
+    t_dst: int,
+    *,
+    max_expansions: int = 20000,
+) -> tuple[RouteStep, ...] | None:
+    """Integer-domain :func:`find_route` (hot-path entry point)."""
+    COUNTERS.route_calls += 1
     gap = t_dst - t_src_eff
     if gap < 1:
         return None
-    goal = _targets(cgra, dst_pe, hop_allowed)
+    goal, goal_mask, min_dist, hint = ctx.goal_table(dst_id)
     if gap == 1:
-        return () if src_pe in goal else None
+        return () if goal_mask[src_id] else None
     hops = gap - 1  # number of route steps, at times t_src_eff+1 .. t_dst-1
     if hops < mrt.ii:
-        return _bfs_route(cgra, mrt, src_pe, t_src_eff, goal, hops, hop_allowed)
+        return _bfs_route(ctx, mrt, src_id, t_src_eff, goal_mask, min_dist, hint, hops)
     return _dfs_route(
-        cgra, mrt, src_pe, t_src_eff, goal, hops, hop_allowed, max_expansions
+        ctx,
+        mrt,
+        src_id,
+        t_src_eff,
+        goal_mask,
+        min_dist,
+        hint,
+        hops,
+        max_expansions,
     )
 
 
-def _moves(
-    cgra: CGRA, pe: Coord, dst_hint: Coord | None, hop_allowed: HopFilter | None
-) -> list[Coord]:
-    opts = list(cgra.interconnect.reachable_in_one(pe))
-    if hop_allowed is not None:
-        opts = [q for q in opts if hop_allowed(pe, q)]
-    if dst_hint is not None:
-        opts.sort(key=lambda q: q.manhattan(dst_hint))
-    return opts
+def _steps_of(ctx: RoutingContext, path: list[int], t_src_eff: int):
+    coords = ctx.gi.coords
+    return tuple(
+        RouteStep(coords[p], t_src_eff + j + 1) for j, p in enumerate(path)
+    )
 
 
 def _bfs_route(
-    cgra: CGRA,
+    ctx: RoutingContext,
     mrt: ReservationTable,
-    src_pe: Coord,
+    src_id: int,
     t_src_eff: int,
-    goal: set[Coord],
+    goal_mask: tuple[bool, ...],
+    min_dist: tuple[int, ...],
+    hint: int | None,
     hops: int,
-    hop_allowed: HopFilter | None,
 ) -> tuple[RouteStep, ...] | None:
     """Layered BFS: all step times are distinct modulo II (hops < II), so a
     path can never collide with itself and per-layer reachability suffices."""
-    dst_hint = next(iter(goal)) if goal else None
-    layer: dict[Coord, Coord | None] = {src_pe: None}
-    parents: list[dict[Coord, Coord]] = []
+    COUNTERS.bfs_calls += 1
+    ii = mrt.ii
+    num_pes = mrt.num_pes
+    occ = mrt._occ
+    moves = ctx.moves
+    expansions = 0
+    layer: dict[int, int | None] = {src_id: None}
+    parents: list[dict[int, int]] = []
     for j in range(1, hops + 1):
-        t = t_src_eff + j
-        nxt: dict[Coord, Coord] = {}
-        for pe in layer:
-            for q in _moves(cgra, pe, dst_hint, hop_allowed):
+        base = ((t_src_eff + j) % ii) * num_pes
+        remaining = hops - j
+        nxt: dict[int, int] = {}
+        for p in layer:
+            expansions += 1
+            for q in moves(p, hint):
                 if q in nxt:
                     continue
-                if not mrt.slot_free(q, t):
+                if occ[base + q] is not None:
                     continue
                 # prune states that cannot reach any goal in remaining hops
-                remaining = hops - j
-                if all(q.manhattan(g) > remaining for g in goal):
+                if min_dist[q] > remaining:
                     continue
-                nxt[q] = pe
+                nxt[q] = p
         if not nxt:
+            COUNTERS.expansions += expansions
             return None
         parents.append(nxt)
         layer = nxt
-    finals = [pe for pe in layer if pe in goal]
-    if not finals:
+    COUNTERS.expansions += expansions
+    final = next((p for p in layer if goal_mask[p]), None)
+    if final is None:
         return None
-    pe = finals[0]
-    path = [pe]
+    path = [final]
+    p = final
     for j in range(hops - 1, 0, -1):
-        pe = parents[j][pe]
-        path.append(pe)
+        p = parents[j][p]
+        path.append(p)
     path.reverse()
-    return tuple(
-        RouteStep(p, t_src_eff + j + 1) for j, p in enumerate(path)
-    )
+    return _steps_of(ctx, path, t_src_eff)
 
 
 def _dfs_route(
-    cgra: CGRA,
+    ctx: RoutingContext,
     mrt: ReservationTable,
-    src_pe: Coord,
+    src_id: int,
     t_src_eff: int,
-    goal: set[Coord],
+    goal_mask: tuple[bool, ...],
+    min_dist: tuple[int, ...],
+    hint: int | None,
     hops: int,
-    hop_allowed: HopFilter | None,
     max_expansions: int,
 ) -> tuple[RouteStep, ...] | None:
     """Depth-first exact-length search tracking the modulo slots the partial
     path itself occupies (needed when the route is longer than the II)."""
+    COUNTERS.dfs_calls += 1
     ii = mrt.ii
-    dst_hint = next(iter(goal)) if goal else None
-    used: set[tuple[Coord, int]] = set()
-    path: list[Coord] = []
-    budget = [max_expansions]
+    num_pes = mrt.num_pes
+    occ = mrt._occ
+    moves = ctx.moves
+    used = bytearray(ii * num_pes)
+    path: list[int] = []
+    budget = max_expansions
 
-    def rec(pe: Coord, j: int) -> bool:
-        if budget[0] <= 0:
+    def rec(p: int, j: int) -> bool:
+        nonlocal budget
+        if budget <= 0:
             return False
-        budget[0] -= 1
+        budget -= 1
         if j == hops:
-            return pe in goal
+            return goal_mask[p]
         t = t_src_eff + j + 1
-        for q in _moves(cgra, pe, dst_hint, hop_allowed):
-            key = (q, t % ii)
-            if key in used or not mrt.slot_free(q, t):
+        base = (t % ii) * num_pes
+        remaining = hops - j - 1
+        for q in moves(p, hint):
+            idx = base + q
+            if used[idx] or occ[idx] is not None:
                 continue
-            remaining = hops - j - 1
-            if all(q.manhattan(g) > remaining for g in goal):
+            if min_dist[q] > remaining:
                 continue
-            used.add(key)
+            used[idx] = 1
             path.append(q)
             if rec(q, j + 1):
                 return True
             path.pop()
-            used.discard(key)
+            used[idx] = 0
         return False
 
-    if not rec(src_pe, 0):
+    found = rec(src_id, 0)
+    COUNTERS.expansions += max_expansions - budget
+    if not found:
         return None
-    return tuple(RouteStep(p, t_src_eff + j + 1) for j, p in enumerate(path))
+    return _steps_of(ctx, path, t_src_eff)
 
 
 def commit_route(

@@ -1,0 +1,66 @@
+"""Compile-perf instrumentation for the place-and-route hot path.
+
+The mapper's cost model is search volume: how many time-extended states the
+router expands, how many (time, PE) candidates the placer probes, how often
+the memoized routing tables answer without a search.  These counters are
+what ``python -m repro.bench compile-speed`` prints next to wall-clock
+timings, so a perf regression shows up as a *search-volume* regression even
+on noisy CI machines.
+
+Counting is process-local and cumulative; callers snapshot before/after a
+compile and diff (:meth:`MapperCounters.delta`).  The increments live on
+paths executed millions of times per kernel, so they are plain integer
+adds on a module-level object — no locks, no indirection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["MapperCounters", "PhaseTimes", "COUNTERS"]
+
+
+@dataclass
+class PhaseTimes:
+    """Wall-clock seconds spent per compile phase (one compile_job)."""
+
+    base_map: float = 0.0
+    paged_map: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.base_map + self.paged_map
+
+
+@dataclass
+class MapperCounters:
+    """Cumulative search-effort counters for this process."""
+
+    route_calls: int = 0  #: find_route invocations
+    bfs_calls: int = 0  #: layered-BFS searches (route shorter than II)
+    dfs_calls: int = 0  #: depth-first searches (route >= II, self-collisions)
+    expansions: int = 0  #: time-extended states expanded across both searches
+    placement_probes: int = 0  #: (time, PE) candidates probed by the placer
+    trial_commits: int = 0  #: tentative commit+rollback scoring passes
+    target_cache_hits: int = 0  #: memoized per-(dst, hop-filter) goal tables reused
+    move_cache_hits: int = 0  #: memoized per-(pe, hint) move orderings reused
+
+    def snapshot(self) -> "MapperCounters":
+        return MapperCounters(**asdict(self))
+
+    def delta(self, since: "MapperCounters") -> dict[str, int]:
+        """Counter increments since *since*, as a plain dict."""
+        now = asdict(self)
+        then = asdict(since)
+        return {k: now[k] - then[k] for k in now}
+
+    def reset(self) -> None:
+        for k in asdict(self):
+            setattr(self, k, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+
+#: The process-wide counter instance the compiler increments.
+COUNTERS = MapperCounters()

@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 from repro.arch.cgra import CGRA
 from repro.compiler.ems import MapperConfig, map_dfg
 from repro.compiler.paged import map_dfg_paged
+from repro.compiler.stats import COUNTERS
 from repro.core.pagemaster import steady_state_ii
 from repro.core.paging import PageLayout, choose_page_shape
 from repro.kernels import get_kernel, kernel_names
@@ -32,8 +33,10 @@ from repro.util.fingerprint import canonical_fingerprint
 
 __all__ = [
     "CompileJob",
+    "CompileStats",
     "job_key",
     "compile_job",
+    "compile_job_stats",
     "compile_kernel",
     "compile_many",
     "build_profiles",
@@ -73,6 +76,37 @@ class CompileJob:
         return CGRA(self.size, self.size, rf_depth=4 * self.size)
 
 
+@dataclass(frozen=True)
+class CompileStats:
+    """Wall-clock and search-effort profile of one uncached compilation.
+
+    ``counters`` is the increment of the process-wide
+    :data:`repro.compiler.stats.COUNTERS` over this compile: route-search
+    expansions, BFS/DFS invocations, placement probes, and memo-table hits.
+    ``base_map_seconds``/``paged_map_seconds`` split the mapper wall clock
+    by phase (unconstrained baseline vs ring-constrained paged mapping).
+    """
+
+    kernel: str
+    size: int
+    page_size: int
+    seconds: float
+    base_map_seconds: float
+    paged_map_seconds: float
+    counters: dict[str, int]
+
+    def as_record(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "size": self.size,
+            "page_size": self.page_size,
+            "seconds": round(self.seconds, 4),
+            "base_map_seconds": round(self.base_map_seconds, 4),
+            "paged_map_seconds": round(self.paged_map_seconds, 4),
+            "counters": dict(self.counters),
+        }
+
+
 def job_key(job: CompileJob) -> ArtifactKey:
     """Content address of *job*: structural DFG hash, architecture hash
     (grid plus page geometry), mapper-configuration hash."""
@@ -92,13 +126,23 @@ def compile_job(job: CompileJob) -> tuple[CompiledKernel, float]:
     processes; deterministic for a fixed job, so parallel and serial runs
     produce byte-identical artifacts.
     """
+    artifact, stats = compile_job_stats(job)
+    return artifact, stats.seconds
+
+
+def compile_job_stats(job: CompileJob) -> tuple[CompiledKernel, CompileStats]:
+    """Compile one job, uncached, with per-phase timings and the mapper's
+    search-effort counter deltas (the ``compile-speed`` bench's input)."""
+    counters_before = COUNTERS.snapshot()
     started = time.perf_counter()
     key = job_key(job)
     dfg = get_kernel(job.kernel).build()
     cgra = job.build_cgra()
     layout = make_layout(cgra, job.page_size, job.prefer)
     config = job.mapper_config
+    base_started = time.perf_counter()
     base = map_dfg(dfg, cgra, config=config)
+    base_seconds = time.perf_counter() - base_started
     common = dict(
         kernel=job.kernel,
         rows=cgra.rows,
@@ -112,11 +156,24 @@ def compile_job(job: CompileJob) -> tuple[CompiledKernel, float]:
         mapper_fp=key.mapper_fp,
         ii_base=base.ii,
     )
+    def stats_for(paged_seconds: float) -> CompileStats:
+        return CompileStats(
+            kernel=job.kernel,
+            size=job.size,
+            page_size=job.page_size,
+            seconds=time.perf_counter() - started,
+            base_map_seconds=base_seconds,
+            paged_map_seconds=paged_seconds,
+            counters=COUNTERS.delta(counters_before),
+        )
+
+    paged_started = time.perf_counter()
     try:
         paged = map_dfg_paged(dfg, cgra, layout, config=config)
     except MappingError:
         artifact = CompiledKernel(layout_wrap=False, unmappable=True, **common)
-        return artifact, time.perf_counter() - started
+        return artifact, stats_for(time.perf_counter() - paged_started)
+    paged_seconds = time.perf_counter() - paged_started
     steady = tuple(
         (m, ii.numerator, ii.denominator)
         for m in range(1, paged.pages_used + 1)
@@ -148,7 +205,7 @@ def compile_job(job: CompileJob) -> tuple[CompiledKernel, float]:
         steady_ii=steady,
         **common,
     )
-    return artifact, time.perf_counter() - started
+    return artifact, stats_for(paged_seconds)
 
 
 def compile_many(

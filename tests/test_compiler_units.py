@@ -195,3 +195,134 @@ class TestMappingModel:
     def test_negative_time_rejected(self):
         with pytest.raises(MappingError):
             Placement(0, Coord(0, 0), -1)
+
+
+class TestReservationCounters:
+    """The flat table's per-slot free counters and bus use-counts must
+    agree with a brute-force scan of the occupancy array at every point of
+    an interleaved claim/release history (satellite of the integer-indexed
+    mapper PR: ``free_slots_at`` is O(1) *because* of these counters)."""
+
+    def _assert_counters_agree(self, t, cgra):
+        for m in range(t.ii):
+            brute = sum(
+                1 for pe in cgra.interconnect.coords() if t.slot_free(pe, m)
+            )
+            assert t.free_slots_at(m) == brute, f"slot {m}"
+        assert t.occupancy == t.ii * cgra.num_pes - sum(
+            t.free_slots_at(m) for m in range(t.ii)
+        )
+
+    def test_interleaved_claim_release_with_bus(self, cgra44):
+        import random
+
+        rng = random.Random(7)
+        t = ReservationTable(cgra44, ii=3)
+        pes = list(cgra44.interconnect.coords())
+        held: list[tuple[Coord, int, bool]] = []
+        for step in range(300):
+            if held and rng.random() < 0.45:
+                pe, time, memory = held.pop(rng.randrange(len(held)))
+                t.release(pe, time, memory=memory)
+            else:
+                pe = rng.choice(pes)
+                time = rng.randrange(0, 12)
+                if not t.slot_free(pe, time):
+                    continue
+                memory = rng.random() < 0.4 and t.bus_free(pe, time)
+                t.claim(pe, time, f"op{step}", memory=memory)
+                held.append((pe, time, memory))
+            if step % 25 == 0:
+                self._assert_counters_agree(t, cgra44)
+        self._assert_counters_agree(t, cgra44)
+        for pe, time, memory in held:
+            t.release(pe, time, memory=memory)
+        # fully drained: every counter back to its initial state
+        assert t.occupancy == 0
+        for m in range(t.ii):
+            assert t.free_slots_at(m) == cgra44.num_pes
+        for pe in pes:
+            for m in range(t.ii):
+                assert t.bus_free(pe, m)
+
+    def test_copy_preserves_counter_agreement(self, cgra44):
+        t = ReservationTable(cgra44, ii=2)
+        t.claim(Coord(0, 0), 0, "a", memory=True)
+        t.claim(Coord(1, 1), 1, "b")
+        dup = t.copy()
+        dup.claim(Coord(2, 2), 0, "c", memory=True)
+        dup.release(Coord(0, 0), 0, memory=True)
+        self._assert_counters_agree(t, cgra44)
+        self._assert_counters_agree(dup, cgra44)
+        # original untouched by the copy's mutations
+        assert not t.slot_free(Coord(0, 0), 0)
+        assert dup.slot_free(Coord(0, 0), 0)
+
+
+class TestRoutingDeterminism:
+    """Route choice must be a pure function of (fabric, reservations,
+    query) — never of set/dict iteration order.  The goal tables are
+    explicitly ordered (goal PEs sorted by id, memoized hint), so the same
+    query on equal reservation state yields byte-identical steps across
+    repeated calls, fresh contexts, and warm memo tables."""
+
+    def _occupied_mrt(self, cgra, ii):
+        mrt = ReservationTable(cgra, ii=ii)
+        # stake out an asymmetric obstacle field so tie-breaks matter
+        for pe, time in [
+            (Coord(0, 1), 1),
+            (Coord(1, 1), 2),
+            (Coord(2, 1), 0),
+            (Coord(1, 2), 1),
+            (Coord(2, 3), 2),
+        ]:
+            mrt.claim(pe, time, "obstacle")
+        return mrt
+
+    def test_bfs_route_stable_across_fresh_contexts(self, cgra44):
+        ref = None
+        for _ in range(5):
+            mrt = self._occupied_mrt(cgra44, ii=8)
+            steps = find_route(cgra44, mrt, Coord(0, 0), 0, Coord(3, 3), 7)
+            assert steps is not None
+            if ref is None:
+                ref = steps
+            assert steps == ref
+
+    def test_dfs_route_stable_across_fresh_contexts(self, cgra44):
+        ref = None
+        for _ in range(5):
+            mrt = self._occupied_mrt(cgra44, ii=2)
+            steps = find_route(cgra44, mrt, Coord(0, 0), 0, Coord(3, 3), 8)
+            assert steps is not None
+            if ref is None:
+                ref = steps
+            assert steps == ref
+
+    def test_warm_memo_matches_cold_context(self, cgra44):
+        from repro.compiler.routing import RoutingContext
+
+        ctx = RoutingContext(cgra44)
+        query = (Coord(0, 0), 0, Coord(3, 3), 7)
+        cold = find_route(cgra44, self._occupied_mrt(cgra44, 8), *query)
+        warm1 = find_route(
+            cgra44, self._occupied_mrt(cgra44, 8), *query, ctx=ctx
+        )
+        warm2 = find_route(
+            cgra44, self._occupied_mrt(cgra44, 8), *query, ctx=ctx
+        )
+        assert cold == warm1 == warm2
+
+    def test_goal_table_explicitly_ordered(self, cgra44):
+        from repro.compiler.routing import RoutingContext
+
+        ctx = RoutingContext(cgra44)
+        gi = cgra44.grid_index
+        for dst_id in range(gi.num_pes):
+            goal, mask, min_dist, hint = ctx.goal_table(dst_id)
+            assert list(goal) == sorted(goal)
+            assert all(mask[g] for g in goal)
+            assert sum(mask) == len(goal)
+            # pruning bound is tight at the goals themselves
+            assert all(min_dist[g] == 0 for g in goal)
+            assert hint is not None and mask[hint]
