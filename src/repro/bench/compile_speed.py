@@ -31,6 +31,7 @@ __all__ = [
     "run_compile_speed",
     "geomean_speedup",
     "render_report",
+    "search_totals",
     "update_bench_file",
     "main",
 ]
@@ -52,15 +53,32 @@ def run_compile_speed(
     kernels: Sequence[str] | None = None,
     page_sizes: Sequence[int] | None = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> list[CompileStats]:
-    """Cold-compile the suite and return one :class:`CompileStats` per job."""
+    """Cold-compile the suite and return one :class:`CompileStats` per job.
+
+    With ``workers > 1`` each job's (II, attempt) ladders race speculative
+    probes over one shared process pool (jobs stay sequential, so per-job
+    timings and counters remain cleanly attributed); artifacts and IIs are
+    byte-identical to the serial run.
+    """
     names = list(kernels) if kernels else kernel_names()
     sizes = list(page_sizes) if page_sizes else page_sizes_for(size)
+    jobs = [
+        CompileJob(kernel, size, ps, seed=seed)
+        for kernel in names
+        for ps in sizes
+    ]
     stats: list[CompileStats] = []
-    for kernel in names:
-        for ps in sizes:
-            _, st = compile_job_stats(CompileJob(kernel, size, ps, seed=seed))
-            stats.append(st)
+    if workers > 1:
+        from repro.compiler.search import SearchContext
+
+        with SearchContext.create(workers) as ctx:
+            for job in jobs:
+                stats.append(compile_job_stats(job, search=ctx)[1])
+    else:
+        for job in jobs:
+            stats.append(compile_job_stats(job)[1])
     return stats
 
 
@@ -105,6 +123,14 @@ def render_report(stats: Sequence[CompileStats], history: dict | None = None) ->
         )
     total = sum(st.seconds for st in stats)
     lines.append(f"total: {total:.2f}s over {len(stats)} cold compile(s)")
+    search = search_totals(stats)
+    if search is not None:
+        lines.append(
+            "speculation: {probes_launched} probes launched, "
+            "{probes_cancelled} cancelled, {probes_wasted} wasted "
+            "({useful_seconds:.2f}s useful / {wasted_seconds:.2f}s wasted, "
+            "efficiency {speculation_efficiency:.0%})".format(**search)
+        )
     entries = (history or {}).get("entries", [])
     if entries:
         base = entries[0]
@@ -117,8 +143,34 @@ def render_report(stats: Sequence[CompileStats], history: dict | None = None) ->
     return "\n".join(lines)
 
 
+def search_totals(stats: Sequence[CompileStats]) -> dict | None:
+    """Aggregate the speculative-search stats across jobs (``None`` when
+    no job ran through the portfolio engine)."""
+    records = [st.search for st in stats if st.search is not None]
+    if not records:
+        return None
+    out = {
+        k: sum(r[k] for r in records)
+        for k in (
+            "ladders",
+            "probes_launched",
+            "probes_cancelled",
+            "probes_wasted",
+            "useful_seconds",
+            "wasted_seconds",
+        )
+    }
+    total = out["useful_seconds"] + out["wasted_seconds"]
+    out["useful_seconds"] = round(out["useful_seconds"], 3)
+    out["wasted_seconds"] = round(out["wasted_seconds"], 3)
+    out["speculation_efficiency"] = (
+        round(out["useful_seconds"] / total, 4) if total > 0 else 1.0
+    )
+    return out
+
+
 def _entry_from_stats(
-    stats: Sequence[CompileStats], label: str, seed: int
+    stats: Sequence[CompileStats], label: str, seed: int, workers: int = 1
 ) -> dict:
     totals: dict[str, int] = {}
     jobs = {}
@@ -126,18 +178,28 @@ def _entry_from_stats(
         jobs[_job_key(st.kernel, st.page_size)] = st.as_record()
         for name, value in st.counters.items():
             totals[name] = totals.get(name, 0) + value
-    return {
+    entry = {
         "label": label,
         "date": time.strftime("%Y-%m-%d"),
         "seed": seed,
+        "workers": workers,
         "total_seconds": round(sum(st.seconds for st in stats), 3),
         "counters_total": totals,
         "jobs": jobs,
     }
+    search = search_totals(stats)
+    if search is not None:
+        entry["search_total"] = search
+    return entry
 
 
 def update_bench_file(
-    path: Path, stats: Sequence[CompileStats], *, label: str, seed: int
+    path: Path,
+    stats: Sequence[CompileStats],
+    *,
+    label: str,
+    seed: int,
+    workers: int = 1,
 ) -> dict:
     """Insert/replace the *label* entry in the bench file and refresh the
     headline geomean (latest entry vs the file's first entry)."""
@@ -145,7 +207,7 @@ def update_bench_file(
         data = json.loads(path.read_text())
     else:
         data = {"bench": "compile_speed", "entries": []}
-    entry = _entry_from_stats(stats, label, seed)
+    entry = _entry_from_stats(stats, label, seed, workers)
     entries = [e for e in data["entries"] if e["label"] != label]
     entries.append(entry)
     data["entries"] = entries
@@ -168,8 +230,13 @@ def main(args) -> int:
         [int(p) for p in args.page_sizes.split(",")] if args.page_sizes else None
     )
     size = args.size or 4
+    workers = getattr(args, "workers", 1) or 1
     stats = run_compile_speed(
-        size=size, kernels=kernels, page_sizes=page_sizes, seed=args.seed
+        size=size,
+        kernels=kernels,
+        page_sizes=page_sizes,
+        seed=args.seed,
+        workers=workers,
     )
     out = Path(args.out or DEFAULT_OUT)
     history = json.loads(out.read_text()) if out.exists() else None
@@ -182,7 +249,9 @@ def main(args) -> int:
         # Partial sweeps (CI smoke) must not overwrite the full-suite entry.
         print(f"[skip] partial kernel/page-size selection; not updating {out}")
         return 0
-    data = update_bench_file(out, stats, label=args.label, seed=args.seed)
+    data = update_bench_file(
+        out, stats, label=args.label, seed=args.seed, workers=workers
+    )
     speedup = data.get("geomean_speedup_vs_baseline")
     suffix = f" (geomean speedup {speedup}x)" if speedup else ""
     print(f"[write] {out}: entry '{args.label}'{suffix}")

@@ -22,6 +22,13 @@ from repro.compiler.check import validate_mapping
 from repro.compiler.ems import EMSMapper, MapperConfig, map_dfg
 from repro.compiler.paged import PagedMapping, map_dfg_paged
 from repro.compiler.annealing import anneal_map
+from repro.compiler.search import (
+    LadderReport,
+    MapperSpec,
+    SearchContext,
+    WorkerBudget,
+    portfolio_map,
+)
 
 __all__ = [
     "Mapping",
@@ -36,4 +43,9 @@ __all__ = [
     "PagedMapping",
     "map_dfg_paged",
     "anneal_map",
+    "LadderReport",
+    "MapperSpec",
+    "SearchContext",
+    "WorkerBudget",
+    "portfolio_map",
 ]

@@ -42,7 +42,7 @@ from repro.compiler.routing import (
     find_route_shared_ids,
     release_route,
 )
-from repro.compiler.stats import COUNTERS
+from repro.compiler.stats import COUNTERS, SEARCH
 from repro.dfg.analysis import alap_times, asap_times, rec_mii
 from repro.dfg.graph import DFG
 from repro.util.errors import MappingError
@@ -161,6 +161,37 @@ class EMSMapper:
         Raises :class:`MappingError` when no mapping exists up to
         ``config.max_ii``.
         """
+        start_ii = self.ladder_start_ii(dfg, min_ii=min_ii)
+        SEARCH.serial_ladders += 1
+        rng = make_rng(self.config.seed)
+        orders = self.attempt_orders(dfg)
+        for ii in range(start_ii, self.config.max_ii + 1):
+            for attempt in range(self.config.attempts_per_ii):
+                if attempt < len(orders):
+                    order = list(orders[attempt])
+                else:
+                    order = list(orders[0])
+                    self._perturb(order, rng)
+                result = self._try_map(dfg, ii, order)
+                if result is not None:
+                    return result
+        raise MappingError(self.ladder_fail_message(dfg))
+
+    # -- the (II, attempt) ladder as data ------------------------------------------
+    #
+    # The serial `map()` above walks the lattice {(ii, attempt)} in
+    # lexicographic order and returns the first success.  The speculative
+    # portfolio engine (:mod:`repro.compiler.search`) races the same
+    # probes out of order; the helpers below expose the ladder's pieces —
+    # start rung, base orders, and the exact per-(ii, attempt) op order —
+    # so an out-of-order probe is bit-identical to its serial twin.
+
+    def ladder_start_ii(self, dfg: DFG, *, min_ii: int | None = None) -> int:
+        """First II rung of the ladder (MII, floored by *min_ii*).
+
+        Raises :class:`MappingError` for DFGs that can never fit, exactly
+        as :meth:`map` would before entering the ladder.
+        """
         n_mat = len(materialized_ops(dfg))
         if n_mat == 0:
             raise MappingError("cannot map a DFG with no materialized ops")
@@ -176,32 +207,59 @@ class EMSMapper:
         )
         if min_ii is not None:
             start_ii = max(start_ii, min_ii)
-        rng = make_rng(self.config.seed)
-        # Three base strategies, then perturbations.  Reverse dataflow
-        # order places consumers before producers, so when an op is placed
-        # every outgoing edge routes immediately — a value can never get
-        # trapped by later placements stealing its escape slots.  Forward
-        # dataflow and slack orders behave better on recurrence-heavy
-        # graphs, so all three are tried before bumping the II.
-        orders = [
+        return start_ii
+
+    def ladder_fail_message(self, dfg: DFG) -> str:
+        """The error text of a ladder exhausted up to ``config.max_ii``."""
+        return (
+            f"could not map {dfg.name!r} ({dfg.num_ops} ops) on "
+            f"{len(self.allowed_pes)} PEs within II <= {self.config.max_ii}"
+        )
+
+    def attempt_orders(self, dfg: DFG) -> list[list[int]]:
+        """The three base op orders tried at every II rung.
+
+        Reverse dataflow order places consumers before producers, so when
+        an op is placed every outgoing edge routes immediately — a value
+        can never get trapped by later placements stealing its escape
+        slots.  Forward dataflow and slack orders behave better on
+        recurrence-heavy graphs, so all three are tried before bumping the
+        II; attempts beyond the three are perturbations of the first.
+        """
+        return [
             self._reverse_dataflow_order(dfg),
             self._dataflow_order(dfg),
             self._priority_order(dfg),
         ]
-        for ii in range(start_ii, self.config.max_ii + 1):
-            for attempt in range(self.config.attempts_per_ii):
-                if attempt < len(orders):
-                    order = list(orders[attempt])
-                else:
-                    order = list(orders[0])
-                    self._perturb(order, rng)
-                result = self._try_map(dfg, ii, order)
-                if result is not None:
-                    return result
-        raise MappingError(
-            f"could not map {dfg.name!r} ({dfg.num_ops} ops) on "
-            f"{len(self.allowed_pes)} PEs within II <= {self.config.max_ii}"
-        )
+
+    def attempt_order(
+        self,
+        orders: Sequence[Sequence[int]],
+        start_ii: int,
+        ii: int,
+        attempt: int,
+    ) -> list[int]:
+        """The exact op order the serial ladder uses at (*ii*, *attempt*).
+
+        The serial loop draws perturbations from one rng stream in
+        lexicographic (ii, attempt) order, so the order at a given lattice
+        point depends on how many perturbed attempts precede it.  Each
+        perturbation consumes a fixed amount of rng state (the order length
+        never changes), so an independent probe can replay the stream:
+        burn the preceding perturbations on scratch copies, then apply the
+        real one.  This is what makes out-of-order parallel probes
+        byte-identical to the serial ladder.
+        """
+        if attempt < len(orders):
+            return list(orders[attempt])
+        per_ii = self.config.attempts_per_ii - len(orders)
+        preceding = (ii - start_ii) * per_ii + (attempt - len(orders))
+        rng = make_rng(self.config.seed)
+        for _ in range(preceding):
+            self._perturb(list(orders[0]), rng)
+        order = list(orders[0])
+        self._perturb(order, rng)
+        return order
 
     # -- op ordering ---------------------------------------------------------------
 
@@ -598,7 +656,30 @@ def map_dfg(
     *,
     config: MapperConfig | None = None,
     min_ii: int | None = None,
+    workers: int = 1,
+    search=None,
+    search_log=None,
 ) -> Mapping:
     """Map *dfg* onto the whole *cgra* with the baseline (unconstrained)
-    compiler.  This produces the paper's ``II_b`` reference points."""
+    compiler.  This produces the paper's ``II_b`` reference points.
+
+    With ``workers > 1`` (or a live :class:`repro.compiler.search.
+    SearchContext` passed as *search*) the (II, attempt) ladder is raced
+    speculatively over a process pool; the result is byte-identical to the
+    serial path — ``workers=1`` takes the exact in-process ladder.
+    ``search_log`` collects per-ladder :class:`~repro.compiler.search.
+    LadderReport` records.
+    """
+    if search is not None or workers > 1:
+        from repro.compiler.search import MapperSpec, SearchContext, portfolio_map
+
+        spec = MapperSpec.for_base(cgra, config or MapperConfig())
+        ctx = search if search is not None else SearchContext.create(workers)
+        try:
+            return portfolio_map(
+                spec, dfg, cgra=cgra, min_ii=min_ii, ctx=ctx, log=search_log
+            )
+        finally:
+            if search is None:
+                ctx.close()
     return EMSMapper(cgra, config=config).map(dfg, min_ii=min_ii)

@@ -102,6 +102,9 @@ def map_dfg_paged(
     validate: bool = True,
     wrap_fallback: bool = True,
     minimize_pages: bool = True,
+    workers: int = 1,
+    search=None,
+    search_log=None,
 ) -> PagedMapping:
     """Map *dfg* onto the paged CGRA under the §VI-B constraints.
 
@@ -118,11 +121,34 @@ def map_dfg_paged(
     other threads onto the unused portion without any transformation.  The
     returned mapping's layout covers exactly :attr:`PagedMapping.pages_used`
     pages.
+
+    With ``workers > 1`` (or a live :class:`repro.compiler.search.
+    SearchContext` as *search*) every inner (II, attempt) ladder — chain
+    pass, ring fallback, page-minimisation passes — races speculative
+    probes over a process pool with canonical reduction; artifacts are
+    byte-identical to the serial path at any worker count.
     """
     if layout.cgra is not cgra:
         raise MappingError("layout was built for a different CGRA instance")
+    if search is None and workers > 1:
+        from repro.compiler.search import SearchContext
+
+        with SearchContext.create(workers) as ctx:
+            return map_dfg_paged(
+                dfg,
+                cgra,
+                layout,
+                config=config,
+                min_ii=min_ii,
+                validate=validate,
+                wrap_fallback=wrap_fallback,
+                minimize_pages=minimize_pages,
+                search=ctx,
+                search_log=search_log,
+            )
     best = _map_topologies(
-        dfg, cgra, layout, config, min_ii, validate, wrap_fallback
+        dfg, cgra, layout, config, min_ii, validate, wrap_fallback,
+        search, search_log,
     )
     if not minimize_pages or best.layout.num_pages <= 1:
         return best
@@ -140,7 +166,8 @@ def map_dfg_paged(
         try:
             sub = layout.subchain(k)
             candidate = _map_once(
-                dfg, cgra, sub, tight, min_ii, validate, full_layout=layout
+                dfg, cgra, sub, tight, min_ii, validate, full_layout=layout,
+                search=search, search_log=search_log,
             )
         except MappingError:
             continue
@@ -157,6 +184,8 @@ def _map_topologies(
     min_ii,
     validate,
     wrap_fallback,
+    search=None,
+    search_log=None,
 ) -> PagedMapping:
     can_fall_back = (
         wrap_fallback and not layout.allow_wrap and layout.ring_wrap_adjacent
@@ -174,16 +203,25 @@ def _map_topologies(
         )
         first_config = replace(base, max_ii=min(base.max_ii, 3 * floor_ii + 6))
     try:
-        return _map_once(dfg, cgra, layout, first_config, min_ii, validate)
+        return _map_once(
+            dfg, cgra, layout, first_config, min_ii, validate,
+            search=search, search_log=search_log,
+        )
     except MappingError:
         if not can_fall_back:
             raise
         ring_layout = PageLayout(cgra, layout.shape, allow_wrap=True)
         try:
-            return _map_once(dfg, cgra, ring_layout, config, min_ii, validate)
+            return _map_once(
+                dfg, cgra, ring_layout, config, min_ii, validate,
+                search=search, search_log=search_log,
+            )
         except MappingError:
             # last resort: the chain again, unbounded II
-            return _map_once(dfg, cgra, layout, config, min_ii, validate)
+            return _map_once(
+                dfg, cgra, layout, config, min_ii, validate,
+                search=search, search_log=search_log,
+            )
 
 
 def _map_once(
@@ -194,20 +232,30 @@ def _map_once(
     min_ii,
     validate,
     full_layout: PageLayout | None = None,
+    search=None,
+    search_log=None,
 ) -> PagedMapping:
     hop = ring_hop_filter(layout)
     allowed = [pe for pe in cgra.coords() if pe in layout.page_of]
-    mem_slots = layout.num_pages * layout.shape[0] * cgra.mem_ports_per_row
-    mapper = EMSMapper(
-        cgra,
-        allowed_pes=allowed,
-        hop_allowed=hop,
-        mem_slots_per_cycle=mem_slots,
-        bus_key=paged_bus_key(layout),
-        pe_rank=lambda pe: layout.page_of[pe],
-        config=config,
-    )
-    mapping = mapper.map(dfg, min_ii=min_ii)
+    if search is not None:
+        from repro.compiler.search import MapperSpec, portfolio_map
+
+        spec = MapperSpec.for_paged(cgra, layout, config or MapperConfig())
+        mapping = portfolio_map(
+            spec, dfg, cgra=cgra, min_ii=min_ii, ctx=search, log=search_log
+        )
+    else:
+        mem_slots = layout.num_pages * layout.shape[0] * cgra.mem_ports_per_row
+        mapper = EMSMapper(
+            cgra,
+            allowed_pes=allowed,
+            hop_allowed=hop,
+            mem_slots_per_cycle=mem_slots,
+            bus_key=paged_bus_key(layout),
+            pe_rank=lambda pe: layout.page_of[pe],
+            config=config,
+        )
+        mapping = mapper.map(dfg, min_ii=min_ii)
     if validate:
         validate_mapping(
             mapping,

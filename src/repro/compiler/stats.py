@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-__all__ = ["MapperCounters", "PhaseTimes", "COUNTERS"]
+__all__ = ["MapperCounters", "PhaseTimes", "SearchStats", "COUNTERS", "SEARCH"]
 
 
 @dataclass
@@ -61,6 +61,68 @@ class MapperCounters:
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
 
+    def add(self, delta: dict[str, int]) -> None:
+        """Fold a counter delta (from a probe worker process) into this
+        instance, so search effort spent in speculative probes still shows
+        up in the parent's totals."""
+        for k, v in delta.items():
+            if hasattr(self, k):
+                setattr(self, k, getattr(self, k) + v)
+
+
+@dataclass
+class SearchStats:
+    """Cumulative speculative-II-search effort for this process.
+
+    Tracks what the portfolio engine (:mod:`repro.compiler.search`) did
+    with its worker budget: how many (II, attempt) probes it launched, how
+    many a landed success cancelled before they started, and how the probe
+    wall clock splits into *useful* seconds (probes the serial ladder would
+    also have run, i.e. at or below the canonical winner) and *wasted*
+    seconds (speculation that overshot the winner).  ``ladders`` counts
+    portfolio searches; ``serial_ladders`` counts searches that took the
+    in-process serial path (workers=1 or no free budget).
+    """
+
+    ladders: int = 0  #: portfolio (parallel) ladder searches run
+    serial_ladders: int = 0  #: ladders that took the serial in-process path
+    probes_launched: int = 0  #: (II, attempt) probes submitted to workers
+    probes_completed: int = 0  #: probes that ran to a success/fail verdict
+    probes_cancelled: int = 0  #: probes cancelled before they started
+    probes_wasted: int = 0  #: completed probes above the winner (discarded)
+    useful_seconds: float = 0.0  #: probe seconds at/below the canonical winner
+    wasted_seconds: float = 0.0  #: probe seconds above the winner (speculation)
+
+    @property
+    def speculation_efficiency(self) -> float:
+        """Fraction of probe wall clock the canonical reduction kept."""
+        total = self.useful_seconds + self.wasted_seconds
+        return self.useful_seconds / total if total > 0 else 1.0
+
+    def snapshot(self) -> "SearchStats":
+        return SearchStats(**asdict(self))
+
+    def delta(self, since: "SearchStats") -> dict[str, float]:
+        """Stat increments since *since*, as a plain dict (ints stay int)."""
+        now = asdict(self)
+        then = asdict(since)
+        return {k: now[k] - then[k] for k in now}
+
+    def add(self, delta: dict[str, float]) -> None:
+        for k, v in delta.items():
+            if hasattr(self, k):
+                setattr(self, k, getattr(self, k) + v)
+
+    def reset(self) -> None:
+        for k in asdict(self):
+            setattr(self, k, type(getattr(self, k))(0))
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
 
 #: The process-wide counter instance the compiler increments.
 COUNTERS = MapperCounters()
+
+#: The process-wide speculative-search stats the portfolio engine updates.
+SEARCH = SearchStats()

@@ -6,17 +6,25 @@ benches, the system simulator, the examples, the guided demo — goes through
 compile (kernel, grid size, page size/shape preference, seed); the pipeline
 fingerprints the job's DFG, architecture and mapper configuration, consults
 the :class:`~repro.pipeline.store.ArtifactStore`, and only invokes the
-mapper on a genuine miss.  ``compile_many`` fans misses out over a
-``ProcessPoolExecutor`` (mapping is CPU-bound pure Python), and is
-deterministic: the artifacts it produces are byte-identical to the serial
-path for a fixed seed, regardless of worker count.
+mapper on a genuine miss.
+
+``compile_many`` with ``workers > 1`` runs the misses through the
+speculative (II, attempt) portfolio engine (:mod:`repro.compiler.search`):
+one shared ``ProcessPoolExecutor`` of probe workers serves every miss, and
+a shared :class:`~repro.compiler.search.WorkerBudget` keeps kernel-level
+and attempt-level parallelism from oversubscribing it — each miss holds at
+least one probe slot (misses fan out across jobs first), and idle slots
+drain into speculative probes of the stragglers.  The whole construction is
+deterministic: the engine reduces probe results in canonical (II, attempt)
+order, so the artifacts are byte-identical to the serial path for a fixed
+seed, regardless of worker count.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.arch.cgra import CGRA
@@ -82,9 +90,13 @@ class CompileStats:
 
     ``counters`` is the increment of the process-wide
     :data:`repro.compiler.stats.COUNTERS` over this compile: route-search
-    expansions, BFS/DFS invocations, placement probes, and memo-table hits.
-    ``base_map_seconds``/``paged_map_seconds`` split the mapper wall clock
-    by phase (unconstrained baseline vs ring-constrained paged mapping).
+    expansions, BFS/DFS invocations, placement probes, and memo-table hits
+    (probe workers report their deltas back, so speculative search effort
+    is included).  ``base_map_seconds``/``paged_map_seconds`` split the
+    mapper wall clock by phase (unconstrained baseline vs ring-constrained
+    paged mapping).  ``search`` is present when the compile ran through the
+    speculative portfolio engine: probe launch/cancel/waste totals plus the
+    per-ladder (II, attempt) outcome timelines.
     """
 
     kernel: str
@@ -94,9 +106,10 @@ class CompileStats:
     base_map_seconds: float
     paged_map_seconds: float
     counters: dict[str, int]
+    search: dict | None = field(default=None)
 
     def as_record(self) -> dict:
-        return {
+        rec = {
             "kernel": self.kernel,
             "size": self.size,
             "page_size": self.page_size,
@@ -105,6 +118,9 @@ class CompileStats:
             "paged_map_seconds": round(self.paged_map_seconds, 4),
             "counters": dict(self.counters),
         }
+        if self.search is not None:
+            rec["search"] = dict(self.search)
+        return rec
 
 
 def job_key(job: CompileJob) -> ArtifactKey:
@@ -119,20 +135,47 @@ def job_key(job: CompileJob) -> ArtifactKey:
     return ArtifactKey(dfg.fingerprint(), arch_fp, job.mapper_config.fingerprint())
 
 
-def compile_job(job: CompileJob) -> tuple[CompiledKernel, float]:
+def compile_job(job: CompileJob, search=None) -> tuple[CompiledKernel, float]:
     """Compile one job, uncached.  Returns (artifact, mapper seconds).
 
-    Top-level (picklable) so :func:`compile_many` can run it in worker
-    processes; deterministic for a fixed job, so parallel and serial runs
-    produce byte-identical artifacts.
+    Top-level (picklable) so callers can run it in worker processes;
+    deterministic for a fixed job, so parallel and serial runs produce
+    byte-identical artifacts.  *search* is an optional live
+    :class:`~repro.compiler.search.SearchContext` — when set, the mapping
+    ladders race speculative probes over its shared worker pool.
     """
-    artifact, stats = compile_job_stats(job)
+    artifact, stats = compile_job_stats(job, search=search)
     return artifact, stats.seconds
 
 
-def compile_job_stats(job: CompileJob) -> tuple[CompiledKernel, CompileStats]:
+def _search_record(log) -> dict:
+    """Compress a job's ladder reports into the ``CompileStats.search``
+    record: probe totals, speculation efficiency, per-ladder timelines."""
+    useful = sum(r.useful_seconds for r in log)
+    wasted = sum(r.wasted_seconds for r in log)
+    total = useful + wasted
+    return {
+        "ladders": len(log),
+        "probes_launched": sum(r.probes_launched for r in log),
+        "probes_cancelled": sum(r.probes_cancelled for r in log),
+        "probes_wasted": sum(r.probes_wasted for r in log),
+        "useful_seconds": round(useful, 4),
+        "wasted_seconds": round(wasted, 4),
+        "speculation_efficiency": round(useful / total, 4) if total > 0 else 1.0,
+        "timeline": [r.as_record() for r in log],
+    }
+
+
+def compile_job_stats(
+    job: CompileJob, search=None
+) -> tuple[CompiledKernel, CompileStats]:
     """Compile one job, uncached, with per-phase timings and the mapper's
-    search-effort counter deltas (the ``compile-speed`` bench's input)."""
+    search-effort counter deltas (the ``compile-speed`` bench's input).
+
+    The counter deltas diff the process-wide ``COUNTERS``; when several
+    jobs compile concurrently in one process (thread fan-out), per-job
+    attribution is approximate while the totals stay exact.
+    """
     counters_before = COUNTERS.snapshot()
     started = time.perf_counter()
     key = job_key(job)
@@ -140,8 +183,9 @@ def compile_job_stats(job: CompileJob) -> tuple[CompiledKernel, CompileStats]:
     cgra = job.build_cgra()
     layout = make_layout(cgra, job.page_size, job.prefer)
     config = job.mapper_config
+    search_log: list = [] if search is not None else None
     base_started = time.perf_counter()
-    base = map_dfg(dfg, cgra, config=config)
+    base = map_dfg(dfg, cgra, config=config, search=search, search_log=search_log)
     base_seconds = time.perf_counter() - base_started
     common = dict(
         kernel=job.kernel,
@@ -165,11 +209,14 @@ def compile_job_stats(job: CompileJob) -> tuple[CompiledKernel, CompileStats]:
             base_map_seconds=base_seconds,
             paged_map_seconds=paged_seconds,
             counters=COUNTERS.delta(counters_before),
+            search=_search_record(search_log) if search_log is not None else None,
         )
 
     paged_started = time.perf_counter()
     try:
-        paged = map_dfg_paged(dfg, cgra, layout, config=config)
+        paged = map_dfg_paged(
+            dfg, cgra, layout, config=config, search=search, search_log=search_log
+        )
     except MappingError:
         artifact = CompiledKernel(layout_wrap=False, unmappable=True, **common)
         return artifact, stats_for(time.perf_counter() - paged_started)
@@ -217,9 +264,13 @@ def compile_many(
     """Compile *jobs*, returning artifacts in input order.
 
     Warm jobs are served from *store* without touching the mapper;
-    duplicate jobs are compiled once.  With ``workers > 1`` the misses are
-    fanned out over a process pool — results are identical to the serial
-    path, only wall-clock changes.
+    duplicate jobs are compiled once.  With ``workers > 1`` the misses run
+    concurrently through the speculative portfolio engine: one shared pool
+    of *workers* probe processes serves every miss's (II, attempt) ladder,
+    under a shared budget so kernel-level and attempt-level parallelism
+    never oversubscribe — each miss holds at least one probe slot, and
+    idle slots drain into speculative probes of the stragglers.  Results
+    are byte-identical to the serial path, only wall-clock changes.
     """
     jobs = list(jobs)
     resolved: dict[CompileJob, CompiledKernel] = {}
@@ -234,8 +285,16 @@ def compile_many(
             pending.append(job)
     if pending:
         if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                compiled = list(pool.map(compile_job, pending))
+            from repro.compiler.search import SearchContext
+
+            with SearchContext.create(workers) as ctx:
+                # One orchestration thread per miss: each blocks on probe
+                # futures, so the thread count is about coordination, not
+                # CPU — the shared budget bounds actual parallelism.
+                with ThreadPoolExecutor(max_workers=len(pending)) as tp:
+                    compiled = list(
+                        tp.map(lambda j: compile_job(j, search=ctx), pending)
+                    )
         else:
             compiled = [compile_job(job) for job in pending]
         for job, (artifact, seconds) in zip(pending, compiled):

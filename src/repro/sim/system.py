@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping
@@ -71,6 +72,7 @@ class KernelProfile:
             raise WorkloadError(f"kernel {self.name}: pages_used must be >= 1")
         memo = dict(self.steady_ii) if self.steady_ii is not None else {}
         object.__setattr__(self, "_steady_memo", memo)
+        object.__setattr__(self, "_best_sub_memo", {})
 
     def steady_state_ii_of(self, m: int) -> Fraction:
         """Exact steady-state II of this kernel shrunk onto *m* pages."""
@@ -80,6 +82,28 @@ class KernelProfile:
                 self.pages_used, self.ii_paged, m, wrap_used=self.wrap_used
             )
         return memo[m]
+
+    def best_steady_ii_upto(self, m: int) -> Fraction:
+        """Best steady-state II over all sub-allocations of an *m*-page
+        grant, ``min(steady_state_ii_of(m_eff) for m_eff in 1..m)``.
+
+        The zigzag's efficiency is not monotone in M (e.g. 8 pages onto 5
+        columns is slower than the grouped fold onto only 4), so the
+        runtime picks the best sub-allocation of the granted segment.
+        Memoised per (profile, m) next to ``_steady_memo`` — the scan used
+        to be recomputed on every reallocation for the same allocation
+        size, which made reallocation-heavy simulations O(m) per event.
+        """
+        if m < 1:
+            raise WorkloadError(f"kernel {self.name}: allocation must be >= 1")
+        memo: dict[int, Fraction] = self._best_sub_memo
+        best = memo.get(m)
+        if best is None:
+            best = self.steady_state_ii_of(m)
+            if m > 1:
+                best = min(self.best_steady_ii_upto(m - 1), best)
+            memo[m] = best
+        return best
 
 
 @dataclass
@@ -161,7 +185,9 @@ class _SystemSim:
         self.counter = itertools.count()
         self.manager = CGRAManager(config.n_pages, config.policy)
         self.single_running: int | None = None
-        self.single_queue: list[int] = []
+        # FIFO of threads waiting for the whole-array CGRA; deque so the
+        # dequeue is O(1) instead of list.pop(0)'s O(n) shift
+        self.single_queue: deque[int] = deque()
         self.timeline = None
         self.busy_page_cycles = Fraction(0)
         self.result = SystemResult(
@@ -193,12 +219,7 @@ class _SystemSim:
             return Fraction(prof.ii_base)
         if m >= prof.pages_used:
             return Fraction(prof.ii_paged)
-        # The zigzag's efficiency is not monotone in M (e.g. 8 pages onto 5
-        # columns is slower than the grouped fold onto only 4), so the
-        # runtime picks the best sub-allocation of the granted segment.
-        return min(
-            prof.steady_state_ii_of(m_eff) for m_eff in range(1, m + 1)
-        )
+        return prof.best_steady_ii_upto(m)
 
     def _push(self, time: Fraction, kind: str, tid: int) -> None:
         st = self.threads[tid]
@@ -383,7 +404,7 @@ class _SystemSim:
                     st.seg_idx += 1
                     self._start_segment(tid, now)
                     if self.single_queue:
-                        self._single_start(self.single_queue.pop(0), now)
+                        self._single_start(self.single_queue.popleft(), now)
                 else:
                     self._progress(tid, now)
                     if self.timeline is not None and st.iterations_left <= 0:

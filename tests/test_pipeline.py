@@ -220,11 +220,34 @@ class TestCacheCorrectness:
 
 
 class TestParallelFanout:
-    def test_workers_match_serial_byte_for_byte(self, tmp_path):
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_match_serial_byte_for_byte(self, tmp_path, workers):
+        # speculative (II, attempt) probes race out of order across the
+        # pool; canonical reduction must keep the artifacts byte-identical
         jobs = [CompileJob(k, 4, 4) for k in ("sor", "laplace", "wavelet")]
         serial = compile_many(jobs, store=ArtifactStore(tmp_path / "s"), workers=1)
-        par = compile_many(jobs, store=ArtifactStore(tmp_path / "p"), workers=2)
+        par = compile_many(
+            jobs, store=ArtifactStore(tmp_path / "p"), workers=workers
+        )
         assert [a.to_json() for a in serial] == [a.to_json() for a in par]
+
+    def test_speculative_compile_records_search_stats(self):
+        from repro.compiler.search import SearchContext
+        from repro.pipeline.compile import compile_job_stats
+
+        job = CompileJob("sor", 4, 4)
+        _, serial_stats = compile_job_stats(job)
+        assert serial_stats.search is None
+        with SearchContext.create(2) as ctx:
+            artifact, stats = compile_job_stats(job, search=ctx)
+        assert stats.search is not None
+        assert stats.search["ladders"] >= 1
+        assert stats.search["probes_launched"] >= 1
+        assert stats.search["speculation_efficiency"] <= 1.0
+        assert "search" in stats.as_record()
+        # and the speculative artifact matches the serial one byte for byte
+        serial_artifact, _ = compile_job(job)
+        assert artifact.to_json() == serial_artifact.to_json()
 
     def test_duplicate_jobs_compiled_once(self, tmp_path):
         store = ArtifactStore(tmp_path / "store")

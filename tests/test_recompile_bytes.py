@@ -46,3 +46,23 @@ def test_cold_recompile_is_byte_identical(job, tmp_path):
         f"{job.kernel} ps={job.page_size}: recompiled artifact differs from "
         f"the committed store — the mapper's behaviour changed"
     )
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_speculative_recompile_is_byte_identical(workers, tmp_path):
+    """The speculative portfolio engine (out-of-order parallel probes with
+    canonical reduction, :mod:`repro.compiler.search`) must reproduce the
+    committed store bytes at any worker count."""
+    store = ArtifactStore(REPO_STORE)
+    jobs = [j for j in FAST_JOBS if store.path_for(job_key(j)).exists()]
+    if not jobs:
+        pytest.skip("committed artifact store not present")
+    fresh = ArtifactStore(tmp_path / "store")
+    compile_many(jobs, store=fresh, workers=workers)
+    for job in jobs:
+        produced = fresh.path_for(job_key(job))
+        committed = store.path_for(job_key(job))
+        assert produced.read_bytes() == committed.read_bytes(), (
+            f"{job.kernel} ps={job.page_size} @ workers={workers}: "
+            f"speculative compile diverged from the serial artifact"
+        )
