@@ -1,0 +1,72 @@
+"""Process-environment hazards: wall clocks, pids, entropy.
+
+Wall-clock timestamps, process ids and OS entropy change on every run; if
+any of them reaches artifact bytes, the content-address guarantee breaks in
+the worst possible way — byte-parity failures that only reproduce
+sometimes.  Measurement clocks (``perf_counter``, ``monotonic``,
+``process_time``) are deliberately *not* flagged: timing how long a compile
+took is fine, stamping results with *when* it ran is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules import resolve_call_target
+
+#: Fully qualified call targets whose value depends on the environment.
+_TRIGGERS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "time.asctime",
+        "time.strftime",
+        "os.getpid",
+        "os.getppid",
+        "os.urandom",
+        "os.times",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_SECRETS_PREFIX = "secrets."
+
+
+def _check_wall_clock(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(node.func, ctx.imports)
+        if target is None:
+            continue
+        if target in _TRIGGERS or target.startswith(_SECRETS_PREFIX):
+            yield ctx.finding(
+                WALL_CLOCK,
+                node,
+                f"{target}() is environment-dependent (wall clock / pid / "
+                "entropy)",
+            )
+
+
+WALL_CLOCK = register(
+    Rule(
+        id="DET-WALL-CLOCK",
+        kind="lint",
+        severity=Severity.ERROR,
+        summary="wall-clock / pid / entropy value on a reproducible path",
+        fix_hint="thread the value in as an explicit parameter, or keep it "
+        "strictly out of artifact bytes and suppress with a reason",
+        checker=_check_wall_clock,
+    )
+)

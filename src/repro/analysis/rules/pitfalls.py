@@ -1,0 +1,89 @@
+"""Classic Python determinism pitfalls: mutable defaults, float equality.
+
+A mutable default argument is shared across calls, so results depend on
+call history; float ``==`` on computed values (schedule times, energies)
+depends on evaluation order and platform rounding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+def _check_mutable_default(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for d in defaults:
+            if _is_mutable_default(d):
+                yield ctx.finding(
+                    MUT_DEFAULT,
+                    d,
+                    "mutable default argument is shared across calls",
+                )
+
+
+def _check_float_eq(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        if any(
+            isinstance(o, ast.Constant) and isinstance(o.value, float)
+            for o in operands
+        ):
+            yield ctx.finding(
+                FLOAT_EQ,
+                node,
+                "exact float equality depends on evaluation order and "
+                "platform rounding",
+            )
+
+
+MUT_DEFAULT = register(
+    Rule(
+        id="DET-MUT-DEFAULT",
+        kind="lint",
+        severity=Severity.ERROR,
+        summary="mutable default argument",
+        fix_hint="default to None and construct the container inside the "
+        "function (or use dataclasses.field(default_factory=...))",
+        checker=_check_mutable_default,
+    )
+)
+
+FLOAT_EQ = register(
+    Rule(
+        id="DET-FLOAT-EQ",
+        kind="lint",
+        severity=Severity.ERROR,
+        summary="float == / != comparison",
+        fix_hint="compare against a tolerance, use exact types "
+        "(int/Fraction) for schedule arithmetic, or suppress with a reason "
+        "when the float is integer-valued by construction",
+        checker=_check_float_eq,
+    )
+)

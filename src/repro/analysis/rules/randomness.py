@@ -1,0 +1,148 @@
+"""Randomness and identity-order hazards.
+
+All stochastic pieces of the library are required to build their generators
+through :mod:`repro.util.rng` with an explicit seed; any use of the global
+stdlib RNG, numpy's legacy global RNG, or an entropy-seeded generator is a
+reproducibility bug by construction.  ``id()`` and ``hash()`` are flagged
+because both leak process-lifetime state (allocation addresses, the
+per-process string-hash salt) into anything that sorts or keys by them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules import resolve_call_target
+
+#: numpy.random attributes that are part of the seeded Generator API and
+#: therefore fine to reference.
+_NUMPY_SEEDED_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Files allowed to construct generators: the one seeding choke point.
+EXEMPT_PATH_SUFFIXES = ("repro/util/rng.py",)
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _check_unseeded_rng(ctx) -> Iterator[Finding]:
+    if str(ctx.path).replace("\\", "/").endswith(EXEMPT_PATH_SUFFIXES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = resolve_call_target(node.func, ctx.imports)
+        if target is None:
+            continue
+        root, _, rest = target.partition(".")
+        if root == "random":
+            # stdlib: random.Random(seed) is explicit; everything else on
+            # the module (including bare Random()) rides hidden state.
+            if rest == "Random" and node.args:
+                continue
+            yield ctx.finding(
+                RNG_SEED,
+                node,
+                f"call to stdlib RNG {target!r} uses global/hidden state",
+            )
+        elif target.startswith("numpy.random."):
+            attr = target.rsplit(".", 1)[1]
+            if attr == "default_rng":
+                if not node.args or _is_none(node.args[0]):
+                    yield ctx.finding(
+                        RNG_SEED,
+                        node,
+                        "numpy.random.default_rng() without a seed draws OS "
+                        "entropy",
+                    )
+            elif attr not in _NUMPY_SEEDED_API:
+                yield ctx.finding(
+                    RNG_SEED,
+                    node,
+                    f"legacy numpy global RNG call {target!r}",
+                )
+
+
+def _check_identity_order(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+        ):
+            yield ctx.finding(
+                ID_ORDER,
+                node,
+                "id() exposes allocation addresses; any ordering or keying "
+                "derived from it varies run to run",
+            )
+
+
+def _check_hash_order(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and len(node.args) == 1
+        ):
+            yield ctx.finding(
+                HASH_ORDER,
+                node,
+                "hash() of str/bytes is salted per process "
+                "(PYTHONHASHSEED); values must not shape artifacts",
+            )
+
+
+RNG_SEED = register(
+    Rule(
+        id="DET-RNG-SEED",
+        kind="lint",
+        severity=Severity.ERROR,
+        summary="unseeded or global-state RNG outside util/rng.py",
+        fix_hint="take an explicit seed and build the generator with "
+        "repro.util.rng.make_rng / derive_seed",
+        checker=_check_unseeded_rng,
+    )
+)
+
+ID_ORDER = register(
+    Rule(
+        id="DET-ID-ORDER",
+        kind="lint",
+        severity=Severity.ERROR,
+        summary="id()-derived value (identity order is allocation order)",
+        fix_hint="key by a stable field (op id, coordinate, fingerprint) "
+        "instead of object identity",
+        checker=_check_identity_order,
+    )
+)
+
+HASH_ORDER = register(
+    Rule(
+        id="DET-HASH-ORDER",
+        kind="lint",
+        severity=Severity.ERROR,
+        summary="builtin hash() (process-salted for str/bytes)",
+        fix_hint="use repro.util.fingerprint.canonical_fingerprint or a "
+        "stable explicit key",
+        checker=_check_hash_order,
+    )
+)

@@ -1,0 +1,78 @@
+"""Suppression comments for the determinism lint.
+
+Syntax::
+
+    hazardous_call()  # repro: allow[RULE-ID] why this is safe here
+    # repro: allow[RULE-A, RULE-B] a standalone comment covers the next line
+
+A suppression names the rule ids it silences and *must* carry a reason —
+the reason is the review artifact; a bare ``allow`` is itself a finding
+(``SUP-REASON``).  A suppression that silences nothing is reported too
+(``SUP-UNUSED``), so stale annotations cannot accumulate as the code under
+them is fixed.  Unknown rule ids are reported as ``SUP-UNKNOWN`` rather
+than silently ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[^\]]*)\]\s*(?P<reason>.*?)\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` comment, bound to the line it covers."""
+
+    comment_line: int  # where the comment physically lives
+    target_line: int  # the line whose findings it silences
+    rule_ids: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rule_ids
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every suppression in *source*, in line order.
+
+    A comment on a code line covers that line; a comment-only line covers
+    the next line (so multi-clause statements can be annotated above).
+    Only real COMMENT tokens count — ``allow[...]`` examples inside string
+    literals and docstrings are never suppressions.
+    """
+    lines = source.splitlines()
+    out: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _PATTERN.search(tok.string)
+        if m is None:
+            continue
+        lineno = tok.start[0]
+        ids = tuple(
+            part.strip() for part in m.group("ids").split(",") if part.strip()
+        )
+        line_text = lines[lineno - 1] if lineno <= len(lines) else ""
+        standalone = line_text.strip().startswith("#")
+        out.append(
+            Suppression(
+                comment_line=lineno,
+                target_line=lineno + 1 if standalone else lineno,
+                rule_ids=ids,
+                reason=m.group("reason").strip(),
+            )
+        )
+    return out

@@ -180,6 +180,7 @@ def _entry_from_stats(
             totals[name] = totals.get(name, 0) + value
     entry = {
         "label": label,
+        # repro: allow[DET-WALL-CLOCK] run date annotates the perf log for humans; artifacts are addressed by content
         "date": time.strftime("%Y-%m-%d"),
         "seed": seed,
         "workers": workers,

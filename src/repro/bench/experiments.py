@@ -107,7 +107,8 @@ def _parser() -> argparse.ArgumentParser:
         description="Regenerate the paper's tables and figures.",
     )
     p.add_argument(
-        "experiment", choices=[*EXPERIMENTS, "compile-speed", "all", "list"]
+        "experiment",
+        choices=[*EXPERIMENTS, "compile-speed", "analysis", "all", "list"],
     )
     p.add_argument("--page-size", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
@@ -153,8 +154,14 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.experiment == "list":
-        print("\n".join([*EXPERIMENTS, "compile-speed"]))
+        print("\n".join([*EXPERIMENTS, "compile-speed", "analysis"]))
         return 0
+    if args.experiment == "analysis":
+        # Lint + audit over the default tree/store; same exit-code
+        # contract as `python -m repro.analysis all --strict`.
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(["all", "--strict"])
     if args.experiment == "compile-speed":
         # Deliberately cache-free (it measures the mapper, not the store),
         # so it bypasses the ArtifactStore loop below.

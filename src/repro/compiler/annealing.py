@@ -173,6 +173,7 @@ def anneal_map(
             energy = _energy(dfg, cgra, ii, pos, page_of, ring_succ)
             temp = 10.0 + energy / 4.0
             for it in range(iterations):
+                # repro: allow[DET-FLOAT-EQ] energies are sums of integer penalty weights, exact by construction
                 if energy == 0.0 and it % 50 == 0:
                     mapping = _detailed_route(
                         dfg, cgra, ii, pos, hop_allowed, bus_key
@@ -193,6 +194,7 @@ def anneal_map(
                 else:
                     pos[op] = old
                 temp *= 0.999
+            # repro: allow[DET-FLOAT-EQ] energies are sums of integer penalty weights, exact by construction
             if energy == 0.0:
                 mapping = _detailed_route(
                     dfg, cgra, ii, pos, hop_allowed, bus_key

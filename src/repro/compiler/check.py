@@ -11,6 +11,12 @@ tests can treat the mapper as untrusted:
   holder adjacent-or-same to the consumer;
 * (optionally, for paged mappings) every hop obeys the §VI-B ring-topology
   constraint.
+
+The inner loops run in the :class:`~repro.arch.interconnect.GridIndex`
+integer id domain: occupancy is keyed by ``pid * ii + slot``, adjacency is
+one probe of the precomputed hop-distance matrix, bus segments and the
+ring-hop predicate are resolved per PE id once and memoized.  Coordinates
+only reappear in error messages.
 """
 
 from __future__ import annotations
@@ -39,9 +45,50 @@ def validate_mapping(
     per-page segmentation).
     """
     cgra, dfg, ii = mapping.cgra, mapping.dfg, mapping.ii
-    allowed = set(allowed_pes) if allowed_pes is not None else None
+    gi = cgra.interconnect.grid_index
+    id_of, coords, hop_dist = gi.id_of, gi.coords, gi.hop_dist
+    n_pes = len(coords)
+
+    # per-id tables resolved lazily and memoized, so the hot loops never
+    # call back into Coord-domain predicates twice for the same PE (a
+    # paged bus_key may reject PEs no memory op ever lands on)
     if bus_key is None:
         bus_key = lambda pe: pe.row  # noqa: E731
+    bus_cache: dict[int, object] = {}
+
+    def bus_of(pid: int) -> object:
+        seg = bus_cache.get(pid)
+        if seg is None:
+            seg = bus_key(coords[pid])
+            bus_cache[pid] = seg
+        return seg
+    allowed_mask: bytearray | None = None
+    if allowed_pes is not None:
+        allowed_mask = bytearray(n_pes)
+        for pe in allowed_pes:
+            pid = id_of.get(pe)
+            if pid is not None:
+                allowed_mask[pid] = 1
+    hop_cache: dict[int, bool] = {}
+
+    def check_hop(src_id: int, dst_id: int, what: str) -> None:
+        if hop_dist[src_id][dst_id] > 1:
+            raise MappingError(
+                f"{what}: {coords[src_id]} -> {coords[dst_id]} is not a "
+                "1-hop link"
+            )
+        if hop_allowed is None:
+            return
+        key = src_id * n_pes + dst_id
+        ok = hop_cache.get(key)
+        if ok is None:
+            ok = hop_allowed(coords[src_id], coords[dst_id])
+            hop_cache[key] = ok
+        if not ok:
+            raise ConstraintViolation(
+                f"{what}: hop {coords[src_id]} -> {coords[dst_id]} violates "
+                "the ring-topology constraint"
+            )
 
     # placement completeness and slot exclusivity (CONST ops are folded
     # into consumer operands and never occupy fabric slots)
@@ -50,29 +97,33 @@ def validate_mapping(
         missing = expected - set(mapping.placements)
         extra = set(mapping.placements) - expected
         raise MappingError(f"placement mismatch: missing={missing} extra={extra}")
-    occ: dict[tuple[Coord, int], str] = {}
+    occ: dict[int, str] = {}
 
-    def claim(pe: Coord, time: int, label: str) -> None:
-        if not cgra.interconnect.contains(pe):
+    def claim(pe: Coord, time: int, label: str) -> int:
+        pid = id_of.get(pe)
+        if pid is None:
             raise MappingError(f"{label} on PE {pe} outside the grid")
-        if allowed is not None and pe not in allowed:
+        if allowed_mask is not None and not allowed_mask[pid]:
             raise ConstraintViolation(f"{label} on disallowed PE {pe}")
-        key = (pe, time % ii)
+        key = pid * ii + time % ii
         if key in occ:
             raise MappingError(
                 f"slot conflict at {pe} mod {time % ii}: {occ[key]} vs {label}"
             )
         occ[key] = label
+        return pid
 
     bus: dict[tuple, int] = {}
+    pid_of_op: dict[str, int] = {}
     for p in mapping.placements.values():
-        claim(p.pe, p.time, f"op{p.op_id}")
+        pid = claim(p.pe, p.time, f"op{p.op_id}")
+        pid_of_op[p.op_id] = pid
         if dfg.ops[p.op_id].is_memory:
-            key = (bus_key(p.pe), p.time % ii)
+            key = (bus_of(pid), p.time % ii)
             bus[key] = bus.get(key, 0) + 1
             if bus[key] > cgra.mem_ports_per_row:
                 raise MappingError(
-                    f"bus segment {bus_key(p.pe)} over capacity at modulo "
+                    f"bus segment {bus_of(pid)} over capacity at modulo "
                     f"slot {p.time % ii}"
                 )
     for r in mapping.routes.values():
@@ -105,6 +156,7 @@ def validate_mapping(
                     f"edge {e.id}: tap {route.tap} is not a sibling route step"
                 )
         holder, holder_time = mapping.route_origin(e)
+        holder_id = id_of[holder]
         if len(route.steps) != dst.time - holder_time - 1:
             raise MappingError(
                 f"edge {e.id}: origin at t={holder_time} needs "
@@ -117,21 +169,11 @@ def validate_mapping(
                     f"edge {e.id}: route step at time {s.time}, expected "
                     f"{holder_time + 1}"
                 )
-            _check_hop(mapping, holder, s.pe, f"edge {e.id} route", hop_allowed)
-            holder, holder_time = s.pe, s.time
-        _check_hop(mapping, holder, dst.pe, f"edge {e.id} final read", hop_allowed)
-
-
-def _check_hop(
-    mapping: Mapping,
-    src: Coord,
-    dst: Coord,
-    what: str,
-    hop_allowed: Callable[[Coord, Coord], bool] | None,
-) -> None:
-    if not mapping.cgra.adjacent_or_same(dst, src):
-        raise MappingError(f"{what}: {src} -> {dst} is not a 1-hop link")
-    if hop_allowed is not None and not hop_allowed(src, dst):
-        raise ConstraintViolation(
-            f"{what}: hop {src} -> {dst} violates the ring-topology constraint"
-        )
+            step_id = id_of.get(s.pe)
+            if step_id is None:
+                raise MappingError(
+                    f"edge {e.id} route: step on PE {s.pe} outside the grid"
+                )
+            check_hop(holder_id, step_id, f"edge {e.id} route")
+            holder_id, holder_time = step_id, s.time
+        check_hop(holder_id, pid_of_op[e.dst], f"edge {e.id} final read")

@@ -93,7 +93,7 @@ class PageSchedule:
     def validate_ring(self) -> None:
         """Every observed dependency must fit the ring pattern: same page,
         or from the ring predecessor, always one cycle apart."""
-        for (src, dst, kind) in self.deps:
+        for (src, dst, kind) in sorted(self.deps):
             (n_s, t_s), (n_d, t_d) = src, dst
             if t_d != (t_s + 1) % self.ii and self.ii > 1:
                 raise ConstraintViolation(

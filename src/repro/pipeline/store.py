@@ -55,6 +55,31 @@ class ArtifactStore:
         digest = key.digest
         return self.root / digest[:2] / f"{digest}.json"
 
+    def walk(self):
+        """Yield ``(path, is_artifact)`` for every file under the store.
+
+        The scan is explicitly sorted at each directory level, so iteration
+        order is a pure function of store content — never of readdir order.
+        ``is_artifact`` is True when the path has the sharded
+        content-addressed shape (``ab/<sha256>.json``); anything else is a
+        foreign file the store tolerates (and the auditor reports).
+        """
+        from repro.analysis.audit import ARTIFACT_NAME_RE
+
+        if not self.root.is_dir():
+            return
+        for child in sorted(self.root.rglob("*")):
+            if child.is_file():
+                rel = child.relative_to(self.root).as_posix()
+                yield child, ARTIFACT_NAME_RE.match(rel) is not None
+
+    def audit(self):
+        """Audit every stored artifact from bytes alone; see
+        :func:`repro.analysis.audit.audit_store`."""
+        from repro.analysis.audit import audit_store
+
+        return audit_store(self)
+
     # -- access ---------------------------------------------------------------------
 
     def get(self, key: ArtifactKey) -> CompiledKernel | None:
@@ -96,6 +121,7 @@ class ArtifactStore:
     def put(self, artifact: CompiledKernel) -> Path | None:
         """Persist *artifact* atomically; best-effort but never silent."""
         path = self.path_for(artifact.key)
+        # repro: allow[DET-WALL-CLOCK] pid only names the temp file for atomic replace; never reaches artifact bytes
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

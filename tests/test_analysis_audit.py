@@ -1,0 +1,378 @@
+"""Artifact auditor: the committed store is clean, and every class of
+corruption is caught with the exact rule id of the invariant it breaks."""
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import audit as audit_mod
+from repro.analysis.audit import AuditEntry, audit_file, audit_store
+from repro.analysis.findings import Severity
+from repro.analysis.report import exit_code
+from repro.pipeline.artifact import CompiledKernel
+from repro.pipeline.store import ArtifactStore
+
+REPO_STORE = Path(__file__).resolve().parents[1] / ".repro_artifacts"
+
+pytestmark = pytest.mark.skipif(
+    not REPO_STORE.is_dir(), reason="committed artifact store not present"
+)
+
+
+@pytest.fixture(scope="module")
+def committed():
+    artifacts = []
+    for path, is_artifact in ArtifactStore(REPO_STORE).walk():
+        if is_artifact:
+            artifacts.append(
+                CompiledKernel.from_json_dict(json.loads(path.read_bytes()))
+            )
+    assert artifacts, "expected committed artifacts"
+    return artifacts
+
+
+@pytest.fixture(scope="module")
+def small(committed):
+    """Smallest mappable committed artifact — mutation substrate."""
+    mappable = [a for a in committed if not a.unmappable]
+    return min(mappable, key=lambda a: (len(a.placements), a.key.digest))
+
+
+def write_artifact(root: Path, payload: dict, *, digest: str | None = None):
+    """Canonically encode *payload* at its (or a forced) content address."""
+    artifact = CompiledKernel.from_json_dict(payload)
+    digest = digest or artifact.key.digest
+    path = root / digest[:2] / f"{digest}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(artifact.to_json())
+    return path
+
+
+def audit_ids(root: Path) -> set[str]:
+    return {f.rule_id for f in audit_store(root).findings}
+
+
+def payload_of(artifact: CompiledKernel) -> dict:
+    return json.loads(artifact.to_json())
+
+
+def find_mutation(artifacts, mutate, want: set[str], limit: int = 400):
+    """First mutated payload whose solo audit yields exactly *want*.
+
+    *mutate* maps an artifact to an iterator of payload dicts; searching
+    (rather than hard-coding coordinates) keeps the tests independent of
+    which kernels happen to be committed.
+    """
+    tried = 0
+    for artifact in sorted(
+        (a for a in artifacts if not a.unmappable),
+        key=lambda a: (len(a.placements), a.key.digest),
+    ):
+        for payload in mutate(artifact):
+            tried += 1
+            if tried > limit:
+                return None
+            entry = _solo_audit(payload)
+            if {f.rule_id for f in entry.findings} == want:
+                return payload
+    return None
+
+
+def _solo_audit(payload: dict, tmp_root: list = []) -> AuditEntry:
+    import tempfile
+
+    if not tmp_root:
+        tmp_root.append(Path(tempfile.mkdtemp(prefix="repro-audit-")))
+    path = write_artifact(tmp_root[0], payload)
+    entry = audit_file(path, path.relative_to(tmp_root[0]).as_posix())
+    path.unlink()
+    return entry
+
+
+# -- the committed store is the baseline ---------------------------------------------
+
+
+def test_committed_store_audits_clean():
+    report = audit_store(REPO_STORE)
+    assert report.ok
+    assert report.findings == [], "\n".join(
+        f.render() for f in report.findings
+    )
+    counts = report.counts()
+    assert counts["corrupt"] == 0 and counts["foreign"] == 0
+    assert counts["folds_checked"] > 0
+
+
+def test_clean_artifact_round_trips(tmp_path, small):
+    write_artifact(tmp_path, payload_of(small))
+    report = audit_store(tmp_path)
+    assert report.ok and report.findings == []
+    (entry,) = report.entries
+    assert entry.kernel == small.kernel
+    assert entry.folds_checked == small.pages_used
+
+
+# -- encoding / addressing corruption ------------------------------------------------
+
+
+def test_single_byte_corruption_is_art_read(tmp_path, small):
+    path = write_artifact(tmp_path, payload_of(small))
+    raw = bytearray(path.read_bytes())
+    raw[0] = ord("X")  # no longer JSON
+    path.write_bytes(bytes(raw))
+    assert audit_ids(tmp_path) == {"ART-READ"}
+    assert not audit_store(tmp_path).ok
+
+    raw[0] = 0xC5  # invalid UTF-8 continuation — not even decodable
+    path.write_bytes(bytes(raw))
+    assert audit_ids(tmp_path) == {"ART-READ"}
+
+
+def test_version_bump_is_art_read(tmp_path, small):
+    payload = payload_of(small)
+    path = write_artifact(tmp_path, payload_of(small))
+    payload["version"] = 99
+    path.write_text(json.dumps(payload))
+    assert audit_ids(tmp_path) == {"ART-READ"}
+
+
+def test_non_canonical_encoding_is_art_bytes(tmp_path, small):
+    path = write_artifact(tmp_path, payload_of(small))
+    path.write_text(json.dumps(json.loads(path.read_text()), indent=2))
+    assert audit_ids(tmp_path) == {"ART-BYTES"}
+
+
+def test_wrong_address_is_art_addr(tmp_path, small):
+    write_artifact(tmp_path, payload_of(small), digest="f" * 64)
+    assert audit_ids(tmp_path) == {"ART-ADDR"}
+
+
+def test_unmappable_with_mapping_data_is_art_fields(tmp_path, small):
+    payload = payload_of(small)
+    payload["unmappable"] = True
+    write_artifact(tmp_path, payload)
+    assert audit_ids(tmp_path) == {"ART-FIELDS"}
+
+
+# -- provenance corruption -----------------------------------------------------------
+
+
+def test_unknown_kernel_is_art_dfg(tmp_path, small):
+    payload = payload_of(small)
+    payload["kernel"] = "nonesuch"
+    write_artifact(tmp_path, payload)
+    assert audit_ids(tmp_path) == {"ART-DFG"}
+
+
+def test_kernel_swap_is_art_dfg(tmp_path, committed, small):
+    other = next(
+        a.kernel for a in committed if a.kernel != small.kernel
+    )
+    payload = payload_of(small)
+    payload["kernel"] = other
+    write_artifact(tmp_path, payload)
+    assert audit_ids(tmp_path) == {"ART-DFG"}
+
+
+def test_geometry_change_is_art_arch(tmp_path, small):
+    payload = payload_of(small)
+    payload["rows"] += 1
+    write_artifact(tmp_path, payload)
+    assert "ART-ARCH" in audit_ids(tmp_path)
+
+
+# -- mapping corruption --------------------------------------------------------------
+
+
+def test_flipped_placement_pe_is_map_legal(committed):
+    def mutate(artifact):
+        payload = payload_of(artifact)
+        for i, (op, r, c, t) in enumerate(artifact.placements):
+            for j, (_, r2, c2, _) in enumerate(artifact.placements):
+                if j == i or (r2, c2) == (r, c):
+                    continue
+                out = json.loads(json.dumps(payload))
+                out["placements"][i] = [op, r2, c2, t]
+                yield out
+
+    payload = find_mutation(committed, mutate, {"MAP-LEGAL"})
+    assert payload is not None, "no placement flip produced a pure MAP-LEGAL"
+
+
+def test_dropped_route_step_is_map_legal(committed):
+    # a missing step breaks route-count legality AND leaves the consumer
+    # reading at depth 2 — both invariants are genuinely violated
+    def mutate(artifact):
+        payload = payload_of(artifact)
+        for i, (_, steps, _) in enumerate(artifact.routes):
+            if not steps:
+                continue
+            out = json.loads(json.dumps(payload))
+            out["routes"][i][1] = out["routes"][i][1][:-1]
+            yield out
+
+    payload = find_mutation(committed, mutate, {"MAP-LEGAL", "MAP-REGDEPTH"})
+    assert payload is not None, "no route-step drop produced MAP-LEGAL"
+
+
+def test_broken_ring_hop_is_map_ring(committed):
+    def mutate(artifact):
+        payload = payload_of(artifact)
+        if artifact.pages_used < 2:
+            return
+        pes = {(r, c) for (_, r, c, _) in artifact.placements}
+        for i, (op, r, c, t) in enumerate(artifact.placements):
+            for (r2, c2) in sorted(pes):
+                if (r2, c2) == (r, c):
+                    continue
+                out = json.loads(json.dumps(payload))
+                out["placements"][i] = [op, r2, c2, t]
+                yield out
+
+    payload = find_mutation(committed, mutate, {"MAP-RING"})
+    assert payload is not None, "no placement move produced a pure MAP-RING"
+
+
+def test_time_shift_breaks_register_depth(committed):
+    def mutate(artifact):
+        if artifact.ii_paged != 1:
+            return  # ii==1 keeps the page schedule legal, isolating depth
+        payload = payload_of(artifact)
+        for i, (op, r, c, t) in enumerate(artifact.placements):
+            out = json.loads(json.dumps(payload))
+            out["placements"][i] = [op, r, c, t + 1]
+            yield out
+
+    payload = find_mutation(
+        committed, mutate, {"MAP-LEGAL", "MAP-REGDEPTH"}
+    )
+    assert payload is not None, "no time shift produced a register-depth break"
+
+
+# -- fold corruption -----------------------------------------------------------------
+
+
+def test_steady_table_value_corruption_is_fold_table(tmp_path, small):
+    payload = payload_of(small)
+    payload["steady_ii"][0][1] += 1
+    write_artifact(tmp_path, payload)
+    assert audit_ids(tmp_path) == {"FOLD-TABLE"}
+
+
+def test_steady_table_coverage_gap_is_fold_table(tmp_path, committed):
+    multi = min(
+        (a for a in committed if not a.unmappable and a.pages_used >= 2),
+        key=lambda a: (len(a.placements), a.key.digest),
+    )
+    payload = payload_of(multi)
+    payload["steady_ii"] = payload["steady_ii"][:-1]
+    write_artifact(tmp_path, payload)
+    assert audit_ids(tmp_path) == {"FOLD-TABLE"}
+
+
+def _fold_stub(n=2, ii=1, wrap=False):
+    return SimpleNamespace(pages_used=n, ii_paged=ii, wrap_used=wrap)
+
+
+def test_fold_legality_catches_time_inversion():
+    entry = AuditEntry(path="x", status="ok")
+    placement = SimpleNamespace(
+        slots={(0, 0): (0, 2), (0, 1): (0, 1), (1, 0): (1, 3), (1, 1): (1, 4)}
+    )
+    audit_mod._check_fold_legality(entry, _fold_stub(), placement, 2)
+    assert [f.rule_id for f in entry.findings] == ["FOLD-DEPS"]
+    assert "not later" in entry.findings[0].message
+
+
+def test_fold_legality_catches_double_booking():
+    entry = AuditEntry(path="x", status="ok")
+    placement = SimpleNamespace(
+        slots={(0, 0): (0, 0), (0, 1): (0, 1), (1, 0): (0, 0), (1, 1): (0, 1)}
+    )
+    audit_mod._check_fold_legality(entry, _fold_stub(), placement, 2)
+    assert [f.rule_id for f in entry.findings] == ["FOLD-DEPS"]
+    assert "double-booked" in entry.findings[0].message
+
+
+def test_fold_legality_catches_column_jump():
+    entry = AuditEntry(path="x", status="ok")
+    placement = SimpleNamespace(
+        slots={(0, 0): (0, 0), (0, 1): (3, 1), (1, 0): (1, 0), (1, 1): (2, 1)}
+    )
+    audit_mod._check_fold_legality(entry, _fold_stub(), placement, 2)
+    assert [f.rule_id for f in entry.findings] == ["FOLD-DEPS"]
+    assert "spans columns" in entry.findings[0].message
+
+
+def test_fold_bound_envelope():
+    stub = _fold_stub(n=4, ii=2)  # resource bound for M=2: 2*4/2 = 4
+    entry = AuditEntry(path="x", status="ok")
+    audit_mod._check_fold_bound(entry, stub, Fraction(3), 2)
+    assert [f.rule_id for f in entry.findings] == ["FOLD-BOUND"]  # below
+
+    entry = AuditEntry(path="x", status="ok")
+    audit_mod._check_fold_bound(entry, stub, Fraction(5), 2)
+    assert [f.rule_id for f in entry.findings] == ["FOLD-BOUND"]  # M|N inexact
+
+    entry = AuditEntry(path="x", status="ok")
+    audit_mod._check_fold_bound(entry, stub, Fraction(4), 2)
+    assert entry.findings == []  # grouped fold, exact
+
+    wrap = _fold_stub(n=4, ii=2, wrap=True)  # zigzag: 2x envelope applies
+    entry = AuditEntry(path="x", status="ok")
+    audit_mod._check_fold_bound(entry, wrap, Fraction(7), 2)
+    assert entry.findings == []
+
+    entry = AuditEntry(path="x", status="ok")
+    audit_mod._check_fold_bound(entry, wrap, Fraction(9), 2)
+    assert [f.rule_id for f in entry.findings] == ["FOLD-BOUND"]  # over 2x
+
+
+# -- store hygiene -------------------------------------------------------------------
+
+
+def test_foreign_files_are_tolerated_and_reported(tmp_path, small):
+    write_artifact(tmp_path, payload_of(small))
+    (tmp_path / "README.txt").write_text("not an artifact\n")
+    shard = tmp_path / small.key.digest[:2]
+    (shard / "notes.md").write_text("scratch\n")
+
+    store = ArtifactStore(tmp_path)
+    assert store.get(small.key) is not None  # reads unaffected
+
+    report = audit_store(tmp_path)
+    assert report.ok  # foreign files never fail the audit outright
+    foreign = [e for e in report.entries if e.status == "foreign"]
+    assert sorted(e.path for e in foreign) == sorted(
+        ["README.txt", f"{small.key.digest[:2]}/notes.md"]
+    )
+    assert {f.rule_id for f in report.findings} == {"STORE-FOREIGN"}
+    assert all(f.severity is Severity.WARNING for f in report.findings)
+    assert exit_code(report.findings) == 0
+    assert exit_code(report.findings, strict=True) == 1
+
+
+def test_store_walk_is_sorted(tmp_path, small, committed):
+    for artifact in committed[:5]:
+        write_artifact(tmp_path, payload_of(artifact))
+    (tmp_path / "zzz.txt").write_text("stray\n")
+    walked = [p for p, _ in ArtifactStore(tmp_path).walk()]
+    assert walked == sorted(walked)
+
+
+def test_cli_contract(tmp_path, small):
+    from repro.analysis.cli import main
+
+    write_artifact(tmp_path, payload_of(small))
+    assert main(["audit", "--store", str(tmp_path)]) == 0
+
+    payload = payload_of(small)
+    payload["steady_ii"][0][1] += 1
+    write_artifact(tmp_path, payload)  # same address: overwrites clean copy
+    assert main(["audit", "--store", str(tmp_path)]) == 1
+
+    assert main(["audit", "--store", str(tmp_path / "missing")]) == 2
+    assert main(["rules"]) == 0
