@@ -8,6 +8,7 @@ Every paper artifact has a named experiment that regenerates it::
     python -m repro.bench headline
     python -m repro.bench all --workers 8
     python -m repro.bench compile-speed --kernels mpeg,wavelet --dry-run
+    python -m repro.bench sim-oracle --configs 60
 
 All compilation goes through :mod:`repro.pipeline`; ``--workers N`` fans a
 cold cache out over N processes, and after each experiment the CLI reports
@@ -108,7 +109,14 @@ def _parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "compile-speed", "analysis", "all", "list"],
+        choices=[
+            *EXPERIMENTS,
+            "compile-speed",
+            "analysis",
+            "sim-oracle",
+            "all",
+            "list",
+        ],
     )
     p.add_argument("--page-size", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
@@ -148,13 +156,19 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", default=None, help="also write the series as JSON records"
     )
+    p.add_argument(
+        "--configs",
+        type=int,
+        default=60,
+        help="workload configurations to verify (sim-oracle)",
+    )
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.experiment == "list":
-        print("\n".join([*EXPERIMENTS, "compile-speed", "analysis"]))
+        print("\n".join([*EXPERIMENTS, "compile-speed", "analysis", "sim-oracle"]))
         return 0
     if args.experiment == "analysis":
         # Lint + audit over the default tree/store; same exit-code
@@ -162,6 +176,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as analysis_main
 
         return analysis_main(["all", "--strict"])
+    if args.experiment == "sim-oracle":
+        # Pure-simulation differential check: no compilation, no cache.
+        from repro.sim.fuzz import run_fuzz
+
+        report = run_fuzz(n_cases=args.configs, seed=args.seed)
+        print(report.render())
+        return 0 if report.ok else 1
     if args.experiment == "compile-speed":
         # Deliberately cache-free (it measures the mapper, not the store),
         # so it bypasses the ArtifactStore loop below.

@@ -27,7 +27,32 @@ from dataclasses import dataclass, field
 from repro.core.policies import Allocation, AllocationPolicy, HalvingPolicy
 from repro.util.errors import ReproError
 
-__all__ = ["Reallocation", "ThreadHandle", "CGRAManager"]
+__all__ = [
+    "Reallocation",
+    "ThreadHandle",
+    "CGRAManager",
+    "check_allocation_map",
+]
+
+
+def check_allocation_map(
+    n_pages: int, residents: dict[int, Allocation]
+) -> None:
+    """Validate a resident map: every allocation contiguous (by
+    construction of :class:`Allocation`), in-bounds, and disjoint.
+
+    Shared by :class:`CGRAManager` after every change and by the
+    simulation oracle (:mod:`repro.sim.oracle`), which re-checks the map
+    at every recorded decision independently of the manager.
+    """
+    claimed: set[int] = set()
+    for t, a in residents.items():
+        pages = set(a.pages)
+        if pages & claimed:
+            raise ReproError(f"overlapping allocations at thread {t}")
+        if a.start + a.length > n_pages:
+            raise ReproError(f"allocation of thread {t} exceeds pool")
+        claimed |= pages
 
 
 @dataclass(frozen=True)
@@ -79,14 +104,7 @@ class CGRAManager:
         return h.allocation if h else None
 
     def _check_invariants(self) -> None:
-        claimed: set[int] = set()
-        for t, a in self.residents.items():
-            pages = set(a.pages)
-            if pages & claimed:
-                raise ReproError(f"overlapping allocations at thread {t}")
-            if a.start + a.length > self.n_pages:
-                raise ReproError(f"allocation of thread {t} exceeds pool")
-            claimed |= pages
+        check_allocation_map(self.n_pages, self.residents)
 
     # -- lifecycle -----------------------------------------------------------------
 

@@ -1,0 +1,221 @@
+"""Deterministic workload fuzzer for the simulation oracle.
+
+Sweeps a seeded lattice of :func:`~repro.sim.workload.generate_workload`
+configurations — all four stock allocation policies plus a deliberately
+eviction-happy one, staggered and simultaneous arrivals, reconfiguration
+overhead on/off, iteration-boundary switching on/off — and pushes every
+case through :func:`~repro.sim.oracle.verify_system` in **both** modes:
+the event-driven simulator must agree bit-for-bit with the cycle-quantum
+reference oracle and satisfy every timeline invariant, or
+:class:`~repro.util.errors.OracleViolation` names the divergence.
+
+Exposed as ``python -m repro.bench sim-oracle`` and run as a CI smoke
+step; everything is seeded through :func:`~repro.util.rng.derive_seed`,
+so a reported case number reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policies import (
+    FairSharePolicy,
+    HalvingPolicy,
+    NeedAwareHalvingPolicy,
+    StaticEqualPolicy,
+    _free_segments,
+)
+from repro.sim.oracle import OracleResult, verify_system
+from repro.sim.system import KernelProfile, SystemConfig, SystemResult
+from repro.sim.workload import generate_workload
+from repro.util.errors import OracleViolation
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "FUZZ_PROFILES",
+    "PriorityEvictionPolicy",
+    "FuzzCase",
+    "FuzzReport",
+    "fuzz_case",
+    "run_fuzz",
+]
+
+#: Kernel mix chosen to exercise every rate path: a unit-II kernel, a slow
+#: one, a wide one whose need exceeds small grants (forcing PageMaster
+#: shrinks), and a wrap-using one whose zigzag fold is the expensive case.
+FUZZ_PROFILES: dict[str, KernelProfile] = {
+    "fast": KernelProfile("fast", ii_base=1, ii_paged=1, pages_used=1),
+    "slow": KernelProfile("slow", ii_base=4, ii_paged=4, pages_used=1),
+    "wide": KernelProfile("wide", ii_base=1, ii_paged=2, pages_used=4),
+    "half": KernelProfile(
+        "half", ii_base=2, ii_paged=3, pages_used=2, wrap_used=True
+    ),
+}
+
+_NOMINAL_II = {name: p.ii_base for name, p in FUZZ_PROFILES.items()}
+
+
+class PriorityEvictionPolicy(HalvingPolicy):
+    """Halving, but a full array evicts a lower-priority resident.
+
+    Priority is the thread id, lower wins: when no pages are free and a
+    resident with a *higher* tid exists, the newcomer takes over that
+    victim's pages mid-kernel and the victim goes back to the queue.  Since
+    tids are assigned in arrival order this fires when an early thread
+    re-requests the CGRA for a later segment while the array is full — the
+    eviction path no stock policy exercises.  Eviction is restricted to
+    strictly higher tids so the manager's re-admission drain terminates:
+    every hand-off replaces a queued tid with a strictly larger one, and
+    an evicted thread can never in turn evict its evictor.
+    """
+
+    def admit(self, n_pages, residents, tid, needs=None):
+        victims = [t for t in residents if t > tid]
+        if victims and not _free_segments(n_pages, residents):
+            victim = max(victims)  # lowest priority loses its pages
+            out = {t: a for t, a in residents.items() if t != victim}
+            out[tid] = residents[victim]
+            return out
+        return super().admit(n_pages, residents, tid, needs)
+
+
+def _make_policy(name: str):
+    if name == "halving":
+        return HalvingPolicy()
+    if name == "need-aware":
+        return NeedAwareHalvingPolicy()
+    if name == "fair-share":
+        return FairSharePolicy()
+    if name == "static-equal":
+        return StaticEqualPolicy(max_threads=4)
+    if name == "evicting":
+        return PriorityEvictionPolicy()
+    raise ValueError(f"unknown fuzz policy {name!r}")
+
+
+_POLICIES = ("halving", "need-aware", "fair-share", "static-equal", "evicting")
+_OVERHEADS = (0, 3)
+_BOUNDARY = (False, True)
+_GAPS = (0, 40)
+_N_THREADS = (2, 3, 5, 6)
+_NEEDS = (0.5, 0.75, 0.875)
+_N_PAGES = (3, 4, 5, 8)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One point of the sweep lattice, fully determined by its index."""
+
+    index: int
+    policy: str
+    n_threads: int
+    n_pages: int
+    cgra_need: float
+    reconfig_overhead: int
+    switch_at_iteration_boundary: bool
+    mean_arrival_gap: int
+    seed: int
+
+
+def make_case(index: int, seed: int) -> FuzzCase:
+    """The *index*-th lattice point: the policy x overhead x boundary x
+    arrival-gap grid cycles fastest, thread/page/need shape slower, so any
+    prefix of the sweep already spans all four policies and both modes'
+    interesting knobs."""
+    pol = _POLICIES[index % len(_POLICIES)]
+    rest = index // len(_POLICIES)
+    overhead = _OVERHEADS[rest % len(_OVERHEADS)]
+    rest //= len(_OVERHEADS)
+    boundary = _BOUNDARY[rest % len(_BOUNDARY)]
+    rest //= len(_BOUNDARY)
+    gap = _GAPS[rest % len(_GAPS)]
+    return FuzzCase(
+        index=index,
+        policy=pol,
+        n_threads=_N_THREADS[index % len(_N_THREADS)],
+        n_pages=_N_PAGES[index % len(_N_PAGES)],
+        cgra_need=_NEEDS[index % len(_NEEDS)],
+        reconfig_overhead=overhead,
+        switch_at_iteration_boundary=boundary,
+        mean_arrival_gap=gap,
+        seed=derive_seed(seed, "sim-fuzz", index),
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one sweep: counts plus per-case verified results."""
+
+    cases: int = 0
+    runs: int = 0  # one per (case, mode)
+    by_policy: dict[str, int] = field(default_factory=dict)
+    by_mode: dict[str, int] = field(default_factory=dict)
+    oracle_steps: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"sim-oracle fuzz: {self.cases} configs, {self.runs} verified "
+            f"runs, {self.oracle_steps} oracle quantum-steps",
+            "  policies: "
+            + ", ".join(
+                f"{p}={n}" for p, n in sorted(self.by_policy.items())
+            ),
+            "  modes:    "
+            + ", ".join(f"{m}={n}" for m, n in sorted(self.by_mode.items())),
+        ]
+        for f in self.failures:
+            lines.append(f"  FAIL {f}")
+        lines.append("  all green" if self.ok else "  VIOLATIONS FOUND")
+        return "\n".join(lines)
+
+
+def fuzz_case(
+    case: FuzzCase, mode: str
+) -> tuple[SystemResult, OracleResult]:
+    """Build the workload and config of *case* and verify one *mode*."""
+    workload = generate_workload(
+        case.n_threads,
+        case.cgra_need,
+        sorted(FUZZ_PROFILES),
+        _NOMINAL_II,
+        seed=case.seed,
+        mean_total_work=300,
+        phases_per_thread=3,
+        mean_arrival_gap=case.mean_arrival_gap,
+    )
+    config = SystemConfig(
+        n_pages=case.n_pages,
+        profiles=FUZZ_PROFILES,
+        policy=_make_policy(case.policy),
+        reconfig_overhead=case.reconfig_overhead,
+        switch_at_iteration_boundary=case.switch_at_iteration_boundary,
+    )
+    return verify_system(workload, config, mode)
+
+
+def run_fuzz(n_cases: int = 60, seed: int = 0) -> FuzzReport:
+    """Verify *n_cases* lattice points in both modes; never raises — the
+    report carries any violations so a sweep shows *all* divergences."""
+    report = FuzzReport()
+    for i in range(n_cases):
+        case = make_case(i, seed)
+        report.cases += 1
+        report.by_policy[case.policy] = report.by_policy.get(case.policy, 0) + 1
+        for mode in ("single", "multithreaded"):
+            try:
+                _, oracle = fuzz_case(case, mode)
+            except OracleViolation as err:
+                report.failures.append(
+                    f"case {case.index} ({case.policy}, {mode}, "
+                    f"seed {case.seed}): {err}"
+                )
+                continue
+            report.runs += 1
+            report.by_mode[mode] = report.by_mode.get(mode, 0) + 1
+            report.oracle_steps += oracle.steps
+    return report

@@ -29,12 +29,18 @@ from fractions import Fraction
 from typing import Mapping
 
 from repro.core.pagemaster import steady_state_ii
-from repro.core.policies import AllocationPolicy, HalvingPolicy
-from repro.core.runtime import CGRAManager
+from repro.core.policies import Allocation, AllocationPolicy, HalvingPolicy
+from repro.core.runtime import CGRAManager, Reallocation
 from repro.sim.workload import ThreadSpec
 from repro.util.errors import SimulationError, WorkloadError
 
-__all__ = ["KernelProfile", "SystemConfig", "SystemResult", "simulate_system"]
+__all__ = [
+    "KernelProfile",
+    "SystemConfig",
+    "SystemResult",
+    "improvement",
+    "simulate_system",
+]
 
 
 @dataclass(frozen=True)
@@ -139,6 +145,7 @@ class SystemResult:
     reallocations: int = 0
     kernel_invocations: int = 0
     wait_cycles: float = 0.0  # total time threads spent queued for the CGRA
+    arrivals: dict[int, float] = field(default_factory=dict)
 
     @property
     def cgra_utilization(self) -> float:
@@ -148,15 +155,26 @@ class SystemResult:
 
     @property
     def avg_turnaround(self) -> float:
+        """Mean turnaround ``finish - arrival``, not mean finish time —
+        with staggered arrivals a late thread's absolute finish says
+        nothing about how long the system took to serve it."""
         if not self.finish_times:
             return 0.0
-        return sum(self.finish_times.values()) / len(self.finish_times)
+        return sum(
+            finish - self.arrivals.get(tid, 0.0)
+            for tid, finish in self.finish_times.items()
+        ) / len(self.finish_times)
 
 
 def improvement(base: SystemResult, other: SystemResult) -> float:
     """Fractional performance improvement of *other* vs *base* (makespan)."""
-    if other.makespan <= 0:
-        return 0.0
+    if base.makespan <= 0 and other.makespan <= 0:
+        return 0.0  # two empty runs are indistinguishable
+    if base.makespan <= 0 or other.makespan <= 0:
+        raise SimulationError(
+            "improvement undefined for a degenerate zero-makespan run "
+            f"(base={base.makespan}, other={other.makespan})"
+        )
     return base.makespan / other.makespan - 1.0
 
 
@@ -189,16 +207,37 @@ class _SystemSim:
         # dequeue is O(1) instead of list.pop(0)'s O(n) shift
         self.single_queue: deque[int] = deque()
         self.timeline = None
+        self.decisions = None  # optional repro.sim.trace.DecisionTrace
         self.busy_page_cycles = Fraction(0)
+        # accumulated exactly; converted to float once at the end (the
+        # module promise is exact-Fraction determinism — a float running
+        # sum would make wait_cycles depend on accumulation order)
+        self.wait_cycles = Fraction(0)
         self.result = SystemResult(
             mode=mode,
             makespan=0.0,
             finish_times={},
             cgra_busy_page_cycles=0.0,
             n_pages=config.n_pages,
+            arrivals={t.tid: float(t.arrival) for t in workload},
         )
 
     # -- helpers --------------------------------------------------------------------
+
+    def _residents(self) -> dict[int, Allocation]:
+        if self.mode == "single":
+            if self.single_running is None:
+                return {}
+            return {self.single_running: Allocation(0, self.config.n_pages)}
+        return self.manager.residents
+
+    def _record_decision(
+        self, now: Fraction, kind: str, tid: int, reallocations
+    ) -> None:
+        if self.decisions is not None:
+            self.decisions.record(
+                now, kind, tid, reallocations, self._residents()
+            )
 
     def _profile(self, kernel: str) -> KernelProfile:
         try:
@@ -249,21 +288,37 @@ class _SystemSim:
 
     def _single_request(self, tid: int, now: Fraction) -> None:
         if self.single_running is None:
-            self._single_start(tid, now)
+            grant = self._single_start(tid, now)
+            self._record_decision(now, "request", tid, [grant])
         else:
-            self.threads[tid].queued_since = now
+            st = self.threads[tid]
+            st.queued_since = now
             self.single_queue.append(tid)
+            if self.timeline is not None:
+                seg = st.spec.segments[st.seg_idx]
+                self.timeline.record(now, "queued", tid, seg.kernel)
+            self._record_decision(now, "request", tid, [])
 
-    def _single_start(self, tid: int, now: Fraction) -> None:
+    def _single_start(self, tid: int, now: Fraction) -> Reallocation:
         st = self.threads[tid]
         if st.queued_since is not None:
-            self.result.wait_cycles += float(now - st.queued_since)
+            self.wait_cycles += now - st.queued_since
             st.queued_since = None
         seg = st.spec.segments[st.seg_idx]
         self.single_running = tid
+        full = Allocation(0, self.config.n_pages)
+        if self.timeline is not None:
+            self.timeline.record(
+                now,
+                "kernel_start",
+                tid,
+                f"{seg.kernel} x{seg.trip} on {full.length} pages",
+                alloc=(full.start, full.length),
+            )
         dur = Fraction(seg.trip) * self._ii_eff(seg.kernel, self.config.n_pages)
         self.busy_page_cycles += dur * self.config.n_pages
         self._push(now + dur, "kernel_done", tid)
+        return Reallocation(tid, None, full)
 
     # multithreaded CGRA ---------------------------------------------------------------
 
@@ -276,6 +331,7 @@ class _SystemSim:
         events = self.manager.request(
             tid, need=self._profile(seg.kernel).pages_used
         )
+        self._record_decision(now, "request", tid, events)
         self._apply_reallocations(events, now)
         if self.manager.allocation_of(tid) is None:
             if self.timeline is not None:
@@ -287,7 +343,7 @@ class _SystemSim:
     def _mt_activate(self, tid: int, now: Fraction) -> None:
         st = self.threads[tid]
         if st.queued_since is not None:
-            self.result.wait_cycles += float(now - st.queued_since)
+            self.wait_cycles += now - st.queued_since
             st.queued_since = None
         alloc = self.manager.allocation_of(tid)
         seg = st.spec.segments[st.seg_idx]
@@ -297,6 +353,7 @@ class _SystemSim:
                 "kernel_start",
                 tid,
                 f"{seg.kernel} x{seg.trip} on {alloc.length} pages",
+                alloc=(alloc.start, alloc.length),
             )
         st.rate = self._ii_eff(seg.kernel, alloc.length)
         st.last_update = now
@@ -335,6 +392,7 @@ class _SystemSim:
                     "realloc",
                     ev.tid,
                     f"{ev.before.length} -> {ev.after.length} pages",
+                    alloc=(ev.after.start, ev.after.length),
                 )
             seg = (
                 st.spec.segments[st.seg_idx]
@@ -354,24 +412,43 @@ class _SystemSim:
                     )
                     self.busy_page_cycles += (now - start) * old_alloc_len
                 st.last_update = now
-                if (
-                    self.config.switch_at_iteration_boundary
-                    and st.iterations_left > 0
-                ):
-                    # finish the in-flight iteration at the old rate before
-                    # the transformed schedule takes over
-                    whole = st.iterations_left.__floor__()
-                    frac = st.iterations_left - whole
-                    if frac > 0:
-                        st.stall_until = max(st.stall_until, now) + frac * st.rate
-                        st.iterations_left = Fraction(whole)
-                        self.busy_page_cycles += frac * st.rate * old_alloc_len
             if ev.after is None:
-                continue  # eviction/departure; departures handled elsewhere
-            seg_kernel = seg.kernel
-            st.rate = self._ii_eff(seg_kernel, ev.after.length)
+                # eviction back to the manager's queue (callers filter the
+                # departing thread's own release event, so a None `after`
+                # here always means eviction): invalidate the scheduled
+                # completion — otherwise the stale kernel_done fires and
+                # the thread "completes" while holding zero pages — and
+                # mark it queued; the re-admission grant resumes it
+                # through _mt_activate with its remaining iterations
+                st.version += 1
+                st.queued_since = now
+                if self.timeline is not None:
+                    self.timeline.record(now, "queued", ev.tid, seg.kernel)
+                continue
+            if (
+                ev.before is not None
+                and self.config.switch_at_iteration_boundary
+                and st.iterations_left > 0
+            ):
+                # finish the in-flight iteration at the old rate before
+                # the transformed schedule takes over; the drain occupies
+                # the pages the thread holds *now* (its old segment may
+                # already belong to the thread that forced this reshape)
+                whole = st.iterations_left.__floor__()
+                frac = st.iterations_left - whole
+                if frac > 0:
+                    st.stall_until = max(st.stall_until, now) + frac * st.rate
+                    st.iterations_left = Fraction(whole)
+                    self.busy_page_cycles += frac * st.rate * ev.after.length
+            st.rate = self._ii_eff(seg.kernel, ev.after.length)
             if ev.before is not None and self.config.reconfig_overhead:
-                st.stall_until = now + self.config.reconfig_overhead
+                # the overhead overlaps an iteration-boundary drain: take
+                # the later of the two stalls, never overwrite (a plain
+                # assignment clobbered the boundary stall and double-ran
+                # the already-billed drain window)
+                st.stall_until = max(
+                    st.stall_until, now + self.config.reconfig_overhead
+                )
             if st.queued_since is not None:
                 self._mt_activate(ev.tid, now)
             else:
@@ -400,11 +477,18 @@ class _SystemSim:
                 self._start_segment(tid, now)
             elif kind == "kernel_done":
                 if self.mode == "single":
+                    full = Allocation(0, self.config.n_pages)
                     self.single_running = None
+                    if self.timeline is not None:
+                        self.timeline.record(now, "kernel_done", tid)
+                    reallocs = [Reallocation(tid, full, None)]
+                    if self.single_queue:
+                        reallocs.append(
+                            self._single_start(self.single_queue.popleft(), now)
+                        )
+                    self._record_decision(now, "release", tid, reallocs)
                     st.seg_idx += 1
                     self._start_segment(tid, now)
-                    if self.single_queue:
-                        self._single_start(self.single_queue.popleft(), now)
                 else:
                     self._progress(tid, now)
                     if self.timeline is not None and st.iterations_left <= 0:
@@ -415,6 +499,7 @@ class _SystemSim:
                         self._schedule_completion(tid, now)
                         continue
                     events = self.manager.release(tid)
+                    self._record_decision(now, "release", tid, events)
                     self.result.reallocations += sum(
                         1 for e in events if e.tid != tid and e.after is not None
                     )
@@ -430,6 +515,7 @@ class _SystemSim:
             raise SimulationError(f"threads never finished: {unfinished}")
         self.result.makespan = max(self.result.finish_times.values(), default=0.0)
         self.result.cgra_busy_page_cycles = float(self.busy_page_cycles)
+        self.result.wait_cycles = float(self.wait_cycles)
         return self.result
 
 
@@ -439,13 +525,18 @@ def simulate_system(
     mode: str,
     *,
     timeline=None,
+    decisions=None,
 ) -> SystemResult:
     """Simulate *workload* on the system in the given mode.
 
     ``timeline`` (a :class:`repro.sim.trace.SystemTimeline`) records
     thread-level events: kernel starts/completions, reallocations, queue
-    entries.
+    entries.  ``decisions`` (a :class:`repro.sim.trace.DecisionTrace`)
+    records every allocation decision with exact times — the input the
+    cycle-quantum oracle (:func:`repro.sim.oracle.run_oracle`) replays to
+    re-derive the result independently.
     """
     sim = _SystemSim(workload, config, mode)
     sim.timeline = timeline
+    sim.decisions = decisions
     return sim.run()

@@ -9,16 +9,32 @@ Two recorders, both optional and zero-cost when unused:
 * :class:`SystemTimeline` — plugs into the discrete-event system model and
   records thread-level events (kernel start/finish, reallocations, queue
   waits), for understanding how the page manager multiplexes the array.
+* :class:`DecisionTrace` — exact-time record of every allocation decision
+  (``CGRAManager`` request/release, or the single-mode FIFO grant) with
+  the reallocations applied and the post-decision resident map.  This is
+  the trace the cycle-quantum oracle (:mod:`repro.sim.oracle`) replays to
+  re-derive finish times, busy-page-cycles and wait cycles independently
+  of the event-driven engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Mapping
 
 from repro.arch.interconnect import Coord
+from repro.core.policies import Allocation
+from repro.core.runtime import Reallocation
 
-__all__ = ["FiringRecord", "CycleTrace", "TimelineEvent", "SystemTimeline"]
+__all__ = [
+    "FiringRecord",
+    "CycleTrace",
+    "TimelineEvent",
+    "SystemTimeline",
+    "Decision",
+    "DecisionTrace",
+]
 
 
 @dataclass(frozen=True)
@@ -81,12 +97,19 @@ class CycleTrace:
 
 @dataclass(frozen=True)
 class TimelineEvent:
-    """One system-level event."""
+    """One system-level event.
+
+    ``alloc`` optionally carries the page segment involved as a
+    ``(start, length)`` pair — kernel starts and reallocations record the
+    thread's (new) allocation so the invariant checker can audit page
+    accounting without re-running the simulation.
+    """
 
     time: float
     kind: str  # kernel_start | kernel_done | realloc | queued | cpu_start
     tid: int
     detail: str = ""
+    alloc: tuple[int, int] | None = None
 
 
 @dataclass
@@ -95,8 +118,15 @@ class SystemTimeline:
 
     events: list[TimelineEvent] = field(default_factory=list)
 
-    def record(self, time: Fraction | float, kind: str, tid: int, detail: str = "") -> None:
-        self.events.append(TimelineEvent(float(time), kind, tid, detail))
+    def record(
+        self,
+        time: Fraction | float,
+        kind: str,
+        tid: int,
+        detail: str = "",
+        alloc: tuple[int, int] | None = None,
+    ) -> None:
+        self.events.append(TimelineEvent(float(time), kind, tid, detail, alloc))
 
     def of_thread(self, tid: int) -> list[TimelineEvent]:
         return [e for e in self.events if e.tid == tid]
@@ -112,3 +142,57 @@ class SystemTimeline:
             f"t={e.time:12.1f}  thread {e.tid:<3d} {e.kind:<13s} {e.detail}"
             for e in events
         )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One allocation decision, with exact time and full context.
+
+    ``kind`` is ``"request"`` (a thread asked for the CGRA — in single
+    mode the grant of the whole array, in multithreaded mode the manager
+    admission) or ``"release"`` (a thread finished its kernel — including
+    any expansions/admissions of other threads the departure triggered).
+    ``reallocations`` are the :class:`~repro.core.runtime.Reallocation`
+    events applied (empty when the requester was queued), and
+    ``residents`` is the complete post-decision allocation map.
+    """
+
+    time: Fraction
+    kind: str  # "request" | "release"
+    tid: int
+    reallocations: tuple[Reallocation, ...]
+    residents: tuple[tuple[int, Allocation], ...]
+
+    def resident_map(self) -> dict[int, Allocation]:
+        return dict(self.residents)
+
+
+@dataclass
+class DecisionTrace:
+    """Exact-time recorder of every allocation decision of one run."""
+
+    decisions: list[Decision] = field(default_factory=list)
+
+    def record(
+        self,
+        time: Fraction,
+        kind: str,
+        tid: int,
+        reallocations: list[Reallocation],
+        residents: Mapping[int, Allocation],
+    ) -> None:
+        self.decisions.append(
+            Decision(
+                Fraction(time),
+                kind,
+                tid,
+                tuple(reallocations),
+                tuple(sorted(residents.items())),
+            )
+        )
+
+    def of_kind(self, kind: str) -> list[Decision]:
+        return [d for d in self.decisions if d.kind == kind]
+
+    def of_thread(self, tid: int) -> list[Decision]:
+        return [d for d in self.decisions if d.tid == tid]

@@ -46,3 +46,9 @@ class WorkloadError(ReproError):
 class ArtifactError(ReproError):
     """A compilation artifact could not be (de)serialized or does not match
     the key it was stored under (:mod:`repro.pipeline`)."""
+
+
+class OracleViolation(SimulationError):
+    """The event-driven system simulator disagreed with the cycle-quantum
+    reference oracle, or a simulation invariant does not hold
+    (:mod:`repro.sim.oracle`)."""

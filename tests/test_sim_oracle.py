@@ -1,0 +1,480 @@
+"""Tests for the cycle-quantum simulation oracle (:mod:`repro.sim.oracle`),
+the invariant checker, the workload fuzzer, and the regression scenarios
+for the simulator bugfixes that shipped with the oracle (stall clobbering,
+the broken eviction protocol, turnaround accounting, exact wait cycles)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.policies import HalvingPolicy
+from repro.sim.fuzz import PriorityEvictionPolicy, make_case, run_fuzz
+from repro.sim.oracle import (
+    check_invariants,
+    compare_results,
+    fraction_gcd,
+    quantum_for,
+    run_oracle,
+    verify_system,
+)
+from repro.sim.system import (
+    KernelProfile,
+    SystemConfig,
+    SystemResult,
+    improvement,
+    simulate_system,
+)
+from repro.sim.trace import DecisionTrace, SystemTimeline
+from repro.sim.workload import Segment, ThreadSpec
+from repro.util.errors import OracleViolation, SimulationError
+
+PROFILES = {
+    "fast": KernelProfile("fast", ii_base=1, ii_paged=1, pages_used=1),
+    "slow": KernelProfile("slow", ii_base=4, ii_paged=4, pages_used=1),
+    "wide": KernelProfile("wide", ii_base=1, ii_paged=2, pages_used=4),
+    # ii_base < ii_paged and pages_used == the pool: reshapes of this
+    # kernel always cross a rate change, the stall-clobber territory
+    "quad": KernelProfile("quad", ii_base=2, ii_paged=4, pages_used=4),
+}
+
+
+def config(n_pages=4, **kw):
+    return SystemConfig(n_pages=n_pages, profiles=PROFILES, **kw)
+
+
+def thread(tid, *segs, arrival=0):
+    return ThreadSpec(tid, tuple(segs), arrival)
+
+
+def verified(workload, cfg, mode):
+    """Simulate + oracle-replay + invariant-check; fail the test on any
+    divergence."""
+    return verify_system(workload, cfg, mode)
+
+
+class TestQuantum:
+    def test_fraction_gcd(self):
+        assert fraction_gcd(Fraction(1), Fraction(1, 2)) == Fraction(1, 2)
+        assert fraction_gcd(Fraction(8, 3), Fraction(2)) == Fraction(2, 3)
+        assert fraction_gcd(Fraction(4), Fraction(6)) == Fraction(2)
+        assert fraction_gcd(Fraction(3, 4), Fraction(5, 6)) == Fraction(1, 12)
+
+    def test_quantum_divides_all_rates(self):
+        wl = [thread(0, Segment("cgra", kernel="wide", trip=1))]
+        cfg = config(reconfig_overhead=3)
+        q = quantum_for(wl, cfg, "multithreaded")
+        prof = PROFILES["wide"]
+        for value in (
+            Fraction(1),
+            Fraction(3),
+            Fraction(prof.ii_paged),
+            prof.steady_state_ii_of(1),
+            prof.steady_state_ii_of(2),
+            prof.steady_state_ii_of(3),
+        ):
+            assert (value / q).denominator == 1
+
+    def test_single_mode_uses_base_ii(self):
+        wl = [thread(0, Segment("cgra", kernel="slow", trip=1))]
+        assert quantum_for(wl, config(), "single") == Fraction(1)
+
+
+class TestOracleParity:
+    """The oracle re-derives the event simulator's results exactly on the
+    deterministic scenarios whose answers are known in closed form."""
+
+    def test_single_mode_fifo(self):
+        wl = [
+            thread(0, Segment("cgra", kernel="slow", trip=10)),
+            thread(1, Segment("cgra", kernel="slow", trip=10)),
+        ]
+        result, oracle = verified(wl, config(), "single")
+        assert result.makespan == 80
+        assert oracle.wait_cycles == 40
+
+    def test_concurrent_small_kernels(self):
+        wl = [
+            thread(0, Segment("cgra", kernel="slow", trip=10)),
+            thread(1, Segment("cgra", kernel="slow", trip=10)),
+        ]
+        result, oracle = verified(wl, config(), "multithreaded")
+        assert result.makespan == 40
+        assert oracle.makespan == 40
+
+    def test_expansion_after_departure(self):
+        wl = [
+            thread(0, Segment("cgra", kernel="wide", trip=8)),
+            thread(1, Segment("cgra", kernel="wide", trip=4)),
+        ]
+        result, oracle = verified(wl, config(), "multithreaded")
+        assert result.makespan == 24
+        assert oracle.reallocations == result.reallocations == 1
+
+    def test_queueing_wave(self):
+        wl = [
+            thread(t, Segment("cgra", kernel="slow", trip=5)) for t in range(6)
+        ]
+        result, oracle = verified(wl, config(), "multithreaded")
+        assert result.makespan == 40
+        assert float(oracle.wait_cycles) == result.wait_cycles > 0
+
+    def test_staggered_arrivals_with_overhead_and_boundary(self):
+        wl = [
+            thread(0, Segment("cgra", kernel="wide", trip=9)),
+            thread(1, Segment("cgra", kernel="wide", trip=8), arrival=1),
+            thread(2, Segment("cpu", cycles=3),
+                   Segment("cgra", kernel="slow", trip=4), arrival=2),
+        ]
+        cfg = config(reconfig_overhead=2, switch_at_iteration_boundary=True)
+        result, oracle = verified(wl, cfg, "multithreaded")
+        assert len(result.finish_times) == 3
+
+    def test_mixed_cpu_cgra_phases(self):
+        wl = [
+            thread(
+                t,
+                Segment("cpu", cycles=7),
+                Segment("cgra", kernel="fast", trip=11),
+                Segment("cpu", cycles=5),
+                Segment("cgra", kernel="wide", trip=3),
+            )
+            for t in range(3)
+        ]
+        verified(wl, config(n_pages=5), "multithreaded")
+        verified(wl, config(n_pages=5), "single")
+
+
+class TestOracleCatchesLies:
+    """The oracle is only useful if a *wrong* trace fails: tampering with
+    the recorded decisions must raise, proving the timing arithmetic is
+    re-derived rather than echoed."""
+
+    def _trace(self, wl, cfg, mode):
+        decisions = DecisionTrace()
+        simulate_system(wl, cfg, mode, decisions=decisions)
+        return decisions
+
+    def test_dropped_release_detected(self):
+        wl = [
+            thread(0, Segment("cgra", kernel="slow", trip=10)),
+            thread(1, Segment("cgra", kernel="slow", trip=10)),
+        ]
+        cfg = config()
+        decisions = self._trace(wl, cfg, "multithreaded")
+        tampered = decisions.decisions[:-1]
+        with pytest.raises(OracleViolation):
+            run_oracle(wl, cfg, "multithreaded", tampered)
+
+    def test_shifted_release_time_detected(self):
+        wl = [thread(0, Segment("cgra", kernel="slow", trip=10))]
+        cfg = config()
+        decisions = self._trace(wl, cfg, "multithreaded")
+        release = decisions.decisions[-1]
+        shifted = decisions.decisions[:-1] + [
+            type(release)(
+                release.time - 1,
+                release.kind,
+                release.tid,
+                release.reallocations,
+                release.residents,
+            )
+        ]
+        with pytest.raises(OracleViolation):
+            run_oracle(wl, cfg, "multithreaded", shifted)
+
+    def test_wrong_result_flagged_by_compare(self):
+        wl = [thread(0, Segment("cgra", kernel="slow", trip=10))]
+        cfg = config()
+        timeline = SystemTimeline()
+        decisions = DecisionTrace()
+        result = simulate_system(
+            wl, cfg, "multithreaded", timeline=timeline, decisions=decisions
+        )
+        oracle = run_oracle(wl, cfg, "multithreaded", decisions)
+        assert compare_results(oracle, result) == []
+        result.makespan += 1.0
+        assert compare_results(oracle, result)
+
+
+class TestInvariantChecker:
+    def _base_result(self, **kw):
+        defaults = dict(
+            mode="multithreaded",
+            makespan=10.0,
+            finish_times={0: 10.0},
+            cgra_busy_page_cycles=10.0,
+            n_pages=2,
+            kernel_invocations=1,
+            wait_cycles=0.0,
+            arrivals={0: 0.0},
+        )
+        defaults.update(kw)
+        return SystemResult(**defaults)
+
+    def test_clean_run_passes(self):
+        wl = [
+            thread(t, Segment("cgra", kernel="slow", trip=5)) for t in range(6)
+        ]
+        timeline = SystemTimeline()
+        result = simulate_system(
+            wl, config(), "multithreaded", timeline=timeline
+        )
+        assert check_invariants(result, timeline, workload=wl) == []
+
+    def test_busy_pages_over_capacity(self):
+        r = self._base_result(cgra_busy_page_cycles=21.0)  # cap = 2*10
+        problems = check_invariants(r, SystemTimeline())
+        assert any("capacity" in p for p in problems)
+
+    def test_makespan_not_max_finish(self):
+        r = self._base_result(makespan=9.0, cgra_busy_page_cycles=9.0)
+        problems = check_invariants(r, SystemTimeline())
+        assert any("max finish" in p for p in problems)
+
+    def test_finish_before_arrival(self):
+        r = self._base_result(arrivals={0: 11.0})
+        problems = check_invariants(r, SystemTimeline())
+        assert any("before its arrival" in p for p in problems)
+
+    def test_overlapping_allocations_flagged(self):
+        timeline = SystemTimeline()
+        timeline.record(0, "kernel_start", 0, alloc=(0, 2))
+        timeline.record(1, "kernel_start", 1, alloc=(1, 1))  # overlaps
+        r = self._base_result(finish_times={0: 10.0, 1: 10.0})
+        problems = check_invariants(r, timeline)
+        assert any("overlapping" in p for p in problems)
+
+    def test_atomic_rebalance_not_flagged(self):
+        # two reallocs at one instant swap segments: transiently
+        # overlapping mid-batch, valid once the batch is applied
+        timeline = SystemTimeline()
+        timeline.record(0, "kernel_start", 0, alloc=(0, 1))
+        timeline.record(0, "kernel_start", 1, alloc=(1, 1))
+        timeline.record(5, "realloc", 0, alloc=(1, 1))
+        timeline.record(5, "realloc", 1, alloc=(0, 1))
+        r = self._base_result(
+            finish_times={0: 10.0, 1: 10.0}, wait_cycles=0.0
+        )
+        assert check_invariants(r, timeline) == []
+
+    def test_completion_while_queued_flagged(self):
+        timeline = SystemTimeline()
+        timeline.record(0, "kernel_start", 0, alloc=(0, 2))
+        timeline.record(2, "queued", 0)
+        timeline.record(5, "kernel_done", 0)
+        r = self._base_result(wait_cycles=0.0)
+        problems = check_invariants(r, timeline)
+        assert any("while queued" in p for p in problems)
+
+    def test_wait_identity_violation_flagged(self):
+        timeline = SystemTimeline()
+        timeline.record(0, "queued", 0)
+        timeline.record(4, "kernel_start", 0, alloc=(0, 1))
+        timeline.record(10, "kernel_done", 0)
+        r = self._base_result(wait_cycles=0.0)  # timeline says 4
+        problems = check_invariants(r, timeline)
+        assert any("wait_cycles" in p for p in problems)
+
+    def test_reshape_of_queued_thread_flagged(self):
+        timeline = SystemTimeline()
+        timeline.record(0, "queued", 0)
+        timeline.record(1, "realloc", 0, alloc=(0, 1))
+        r = self._base_result(wait_cycles=0.0)
+        problems = check_invariants(r, timeline)
+        assert any("reshaped" in p for p in problems)
+
+    def test_missing_invocations_flagged(self):
+        wl = [thread(0, Segment("cgra", kernel="slow", trip=1))]
+        r = self._base_result(kernel_invocations=0)
+        problems = check_invariants(r, SystemTimeline(), workload=wl)
+        assert any("invocations" in p for p in problems)
+
+
+class TestStallClobberRegression:
+    """Regression for the reconfiguration stall overwriting the
+    iteration-boundary drain (system.py): with both knobs on, the overhead
+    must extend the drain stall (``max``), not replace it — the old
+    assignment let thread 0 finish at 26, double-running the already-billed
+    drain window."""
+
+    def _scenario(self):
+        wl = [
+            thread(0, Segment("cgra", kernel="quad", trip=4)),
+            thread(1, Segment("cgra", kernel="quad", trip=4), arrival=1),
+        ]
+        cfg = config(
+            n_pages=4, reconfig_overhead=1, switch_at_iteration_boundary=True
+        )
+        return wl, cfg
+
+    def test_exact_finish_times(self):
+        wl, cfg = self._scenario()
+        result = simulate_system(wl, cfg, "multithreaded")
+        # t0 runs at II 4 from t=0; at t=1 it is reshaped to 2 pages with
+        # 3/4 of an iteration in flight: drain ends at t=4, the 1-cycle
+        # overhead is covered by the drain (max, not overwrite), and the
+        # remaining 3 iterations at II 8 finish at 4 + 24 = 28.
+        assert result.finish_times[0] == 28
+        assert result.finish_times[1] == 33
+        assert result.makespan == 33
+        assert result.reallocations == 1
+
+    def test_oracle_agrees(self):
+        wl, cfg = self._scenario()
+        result, oracle = verified(wl, cfg, "multithreaded")
+        assert oracle.finish_times[0] == Fraction(28)
+
+    def test_no_busy_billing_past_capacity(self):
+        wl, cfg = self._scenario()
+        timeline = SystemTimeline()
+        result = simulate_system(wl, cfg, "multithreaded", timeline=timeline)
+        assert result.cgra_busy_page_cycles <= cfg.n_pages * result.makespan
+        assert check_invariants(result, timeline, workload=wl) == []
+
+
+class _PreemptPolicy(HalvingPolicy):
+    """Scripted: thread 1's arrival always confiscates thread 0's pages."""
+
+    def admit(self, n_pages, residents, tid, needs=None):
+        if tid == 1 and 0 in residents:
+            return {1: residents[0]}
+        return super().admit(n_pages, residents, tid, needs)
+
+
+class TestEvictionRegression:
+    """Regression for the eviction protocol: a policy dropping a resident
+    emits ``Reallocation(tid, alloc, None)``, and the simulator must bump
+    the thread's event version (else the stale completion fires while it
+    holds zero pages), start its wait clock, record the queue entry, and
+    resume it on re-admission."""
+
+    def _scenario(self):
+        wl = [
+            thread(0, Segment("cgra", kernel="slow", trip=5)),
+            thread(1, Segment("cgra", kernel="slow", trip=4), arrival=8),
+        ]
+        cfg = SystemConfig(
+            n_pages=2,
+            profiles=PROFILES,
+            policy=_PreemptPolicy(),
+        )
+        return wl, cfg
+
+    def test_evicted_thread_resumes_and_waits(self):
+        wl, cfg = self._scenario()
+        timeline = SystemTimeline()
+        result = simulate_system(wl, cfg, "multithreaded", timeline=timeline)
+        # t0: 2 of 5 iterations by t=8, evicted; t1 runs 8..24; t0 resumes
+        # with 3 left, finishing at 36 after 16 cycles queued
+        assert result.finish_times == {1: 24.0, 0: 36.0}
+        assert result.wait_cycles == 16
+        queued = [e for e in timeline.of_thread(0) if e.kind == "queued"]
+        assert [e.time for e in queued] == [8.0]
+        starts = [e for e in timeline.of_thread(0) if e.kind == "kernel_start"]
+        assert [e.time for e in starts] == [0.0, 24.0]
+
+    def test_no_completion_while_evicted(self):
+        wl, cfg = self._scenario()
+        timeline = SystemTimeline()
+        result = simulate_system(wl, cfg, "multithreaded", timeline=timeline)
+        assert check_invariants(result, timeline, workload=wl) == []
+
+    def test_oracle_agrees(self):
+        wl, cfg = self._scenario()
+        result, oracle = verified(wl, cfg, "multithreaded")
+        assert oracle.wait_cycles == Fraction(16)
+
+    def test_fuzz_eviction_policy_verifies(self):
+        wl = [
+            thread(0, Segment("cgra", kernel="slow", trip=3),
+                   Segment("cpu", cycles=2),
+                   Segment("cgra", kernel="slow", trip=3)),
+            thread(1, Segment("cgra", kernel="slow", trip=9), arrival=1),
+            thread(2, Segment("cgra", kernel="slow", trip=9), arrival=2),
+        ]
+        cfg = SystemConfig(
+            n_pages=2, profiles=PROFILES, policy=PriorityEvictionPolicy()
+        )
+        result, oracle = verified(wl, cfg, "multithreaded")
+        assert len(result.finish_times) == 3
+
+
+class TestTurnaroundAndImprovement:
+    def test_turnaround_measured_from_arrival(self):
+        wl = [
+            thread(0, Segment("cpu", cycles=100)),
+            thread(1, Segment("cpu", cycles=100), arrival=500),
+        ]
+        result = simulate_system(wl, config(), "multithreaded")
+        # mean finish would be (100 + 600) / 2 = 350; turnaround is 100
+        assert result.avg_turnaround == 100
+        assert result.arrivals == {0: 0.0, 1: 500.0}
+
+    def test_improvement_degenerate_pairs(self):
+        empty_a = simulate_system([], config(), "single")
+        empty_b = simulate_system([], config(), "multithreaded")
+        assert improvement(empty_a, empty_b) == 0.0
+        real = simulate_system(
+            [thread(0, Segment("cpu", cycles=10))], config(), "single"
+        )
+        with pytest.raises(SimulationError):
+            improvement(empty_a, real)
+        with pytest.raises(SimulationError):
+            improvement(real, empty_b)
+
+    def test_improvement_normal(self):
+        a = simulate_system(
+            [thread(0, Segment("cgra", kernel="slow", trip=10))],
+            config(),
+            "single",
+        )
+        assert improvement(a, a) == 0.0
+
+
+class TestWaitCyclesExact:
+    def test_fractional_wait_bit_equal(self):
+        # wide kernels shrunk below their page need run at fractional
+        # steady-state IIs, pushing release instants (and thus queue
+        # waits) off the integer grid
+        wl = [
+            thread(0, Segment("cgra", kernel="wide", trip=7)),
+            thread(1, Segment("cgra", kernel="wide", trip=5), arrival=1),
+            thread(2, Segment("cgra", kernel="wide", trip=5), arrival=2),
+            thread(3, Segment("cgra", kernel="slow", trip=3), arrival=3),
+            thread(4, Segment("cgra", kernel="slow", trip=3), arrival=4),
+        ]
+        cfg = config(n_pages=3)
+        result, oracle = verified(wl, cfg, "multithreaded")
+        assert result.wait_cycles == float(oracle.wait_cycles)
+        assert oracle.wait_cycles > 0
+
+    def test_wait_accumulates_exactly_in_single_mode(self):
+        wl = [
+            thread(t, Segment("cgra", kernel="slow", trip=10))
+            for t in range(3)
+        ]
+        result, oracle = verified(wl, config(), "single")
+        assert result.wait_cycles == float(oracle.wait_cycles) == 120.0
+
+
+class TestFuzzSweep:
+    def test_cases_deterministic(self):
+        assert make_case(7, 0) == make_case(7, 0)
+        assert make_case(7, 0) != make_case(7, 1)
+
+    def test_small_sweep_green(self):
+        report = run_fuzz(n_cases=12, seed=0)
+        assert report.ok, report.render()
+        assert report.cases == 12
+        assert report.runs == 24  # both modes per case
+        assert set(report.by_policy) == {
+            "halving",
+            "need-aware",
+            "fair-share",
+            "static-equal",
+            "evicting",
+        }
+        assert report.by_mode == {"single": 12, "multithreaded": 12}
+        assert "all green" in report.render()

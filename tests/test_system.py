@@ -8,12 +8,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.policies import FairSharePolicy
+from repro.sim.oracle import check_invariants
 from repro.sim.system import (
     KernelProfile,
     SystemConfig,
     improvement,
-    simulate_system,
 )
+from repro.sim.system import simulate_system as _simulate_system
+from repro.sim.trace import SystemTimeline
 from repro.sim.workload import Segment, ThreadSpec, generate_workload
 from repro.util.errors import SimulationError, WorkloadError
 
@@ -22,6 +24,17 @@ PROFILES = {
     "slow": KernelProfile("slow", ii_base=4, ii_paged=4, pages_used=1),
     "wide": KernelProfile("wide", ii_base=1, ii_paged=2, pages_used=4),
 }
+
+
+def simulate_system(workload, cfg, mode):
+    """Checked wrapper: every simulation in this module also records a
+    timeline and passes it through the oracle's invariant checker, so the
+    whole suite doubles as invariant coverage."""
+    timeline = SystemTimeline()
+    result = _simulate_system(workload, cfg, mode, timeline=timeline)
+    problems = check_invariants(result, timeline, workload=workload)
+    assert not problems, "; ".join(problems)
+    return result
 
 
 def config(n_pages=4, **kw):
