@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.arch import CGRA
+from repro.arch.presets import demo_cgra
 from repro.compiler import map_dfg, map_dfg_paged
 from repro.compiler.constraints import paged_bus_key
 from repro.core.pagemaster import PageMaster
@@ -22,7 +22,7 @@ TRIP = 32
 
 def main() -> None:
     # --- the hardware: a 4x4 CGRA divided into four 2x2 pages (Fig. 4) ----
-    cgra = CGRA(4, 4, rf_depth=16)
+    cgra = demo_cgra()  # preset("4x4"): the paper's 4x4 fabric, rf_depth 16
     layout = PageLayout(cgra, (2, 2))
     print(f"hardware: {cgra.describe()}")
     print(f"paging:   {layout}\n")

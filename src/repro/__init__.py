@@ -15,13 +15,13 @@ The package provides, from scratch:
 
 Quick tour::
 
-    from repro.arch import CGRA
+    from repro.arch.presets import demo_cgra
     from repro.core.paging import PageLayout
     from repro.compiler import map_dfg_paged
     from repro.core.pagemaster import PageMaster
     from repro.kernels import get_kernel
 
-    cgra = CGRA(4, 4, rf_depth=16)
+    cgra = demo_cgra()  # the 4x4 paper fabric; see repro.arch.presets
     layout = PageLayout(cgra, (2, 2))
     paged = map_dfg_paged(get_kernel("mpeg").build(), cgra, layout)
     shrink = PageMaster(paged.pages_used, paged.ii, 1).place()

@@ -13,7 +13,7 @@ import sys
 import numpy as np
 
 from repro import viz
-from repro.arch import CGRA
+from repro.arch.presets import demo_cgra
 from repro.compiler import map_dfg_paged
 from repro.compiler.constraints import paged_bus_key
 from repro.core.pagemaster import PageMaster
@@ -32,7 +32,7 @@ from repro.sim.workload import generate_workload
 
 def main(kernel: str = "mpeg") -> int:
     trip = 24
-    cgra = CGRA(4, 4, rf_depth=16)
+    cgra = demo_cgra()
     layout = PageLayout(cgra, (2, 2))
     print(viz.render_layout(layout))
 

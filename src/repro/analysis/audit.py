@@ -135,6 +135,17 @@ MAP_RING = register(
         "ring successor; recompile with the paged compiler",
     )
 )
+MAP_CAP = register(
+    Rule(
+        id="MAP-CAP",
+        kind="audit",
+        severity=Severity.ERROR,
+        summary="mapping places an op on a PE lacking its capability class",
+        fix_hint="on a heterogeneous fabric every op (and route step) must "
+        "sit on a PE whose capability mask includes the op's class; "
+        "recompile with the capability-aware mapper",
+    )
+)
 MAP_REGDEPTH = register(
     Rule(
         id="MAP-REGDEPTH",
@@ -365,6 +376,7 @@ def _audit_provenance(entry: AuditEntry, artifact) -> object | None:
 
 
 def _build_cgra(artifact):
+    from repro.arch.capability import CapabilityMap
     from repro.arch.cgra import CGRA
 
     return CGRA(
@@ -372,6 +384,9 @@ def _build_cgra(artifact):
         artifact.cols,
         rf_depth=artifact.rf_depth,
         mem_ports_per_row=artifact.mem_ports_per_row,
+        capability=CapabilityMap(artifact.rows, artifact.cols, artifact.capability)
+        if artifact.capability is not None
+        else None,
     )
 
 
@@ -379,9 +394,13 @@ def _audit_mapping(entry: AuditEntry, artifact, dfg) -> None:
     from repro.compiler.check import validate_mapping
     from repro.compiler.constraints import paged_bus_key, ring_hop_filter
     from repro.compiler.mapping import materialized_edges
+    from repro.util.errors import CapabilityViolation
 
     try:
         paged = artifact.materialize(dfg)
+    except CapabilityViolation as exc:
+        entry.findings.append(_finding(MAP_CAP, entry.path, str(exc)))
+        return
     except ConstraintViolation as exc:
         entry.findings.append(_finding(MAP_RING, entry.path, str(exc)))
         return
@@ -397,10 +416,14 @@ def _audit_mapping(entry: AuditEntry, artifact, dfg) -> None:
             hop_allowed=ring_hop_filter(layout),
             bus_key=paged_bus_key(layout),
         )
+    except CapabilityViolation as exc:
+        entry.findings.append(_finding(MAP_CAP, entry.path, str(exc)))
     except ConstraintViolation as exc:
         entry.findings.append(_finding(MAP_RING, entry.path, str(exc)))
     except (MappingError, ArchitectureError) as exc:
         entry.findings.append(_finding(MAP_LEGAL, entry.path, str(exc)))
+
+    _audit_capability(entry, artifact, dfg)
 
     # register-usage constraint (§VI-B): depth-1 reads, re-checked
     # explicitly so a violation is named, not folded into route legality
@@ -425,6 +448,49 @@ def _audit_mapping(entry: AuditEntry, artifact, dfg) -> None:
                 )
                 break
             holder, held_at = pe, t
+
+
+def _audit_capability(entry: AuditEntry, artifact, dfg) -> None:
+    """Bytes-level capability legality: re-checked straight off the stored
+    placement/route tuples, so a capability violation is caught even when
+    materialization itself fails for an unrelated reason."""
+    if artifact.capability is None:
+        return
+    from repro.arch.capability import CapabilityMap, OpClass, op_class
+
+    try:
+        cap = CapabilityMap(artifact.rows, artifact.cols, artifact.capability)
+    except ArchitectureError as exc:
+        entry.findings.append(_finding(MAP_CAP, entry.path, str(exc)))
+        return
+    for (op_id, r, c, _t) in artifact.placements:
+        op = dfg.ops.get(op_id)
+        if op is None:
+            continue  # dangling op id is MAP-LEGAL territory
+        cls = op_class(op.opcode)
+        pe_id = r * artifact.cols + c
+        if not cap.supports_id(cls, pe_id):
+            entry.findings.append(
+                _finding(
+                    MAP_CAP,
+                    entry.path,
+                    f"op{op_id} ({cls.value}) stored on PE({r},{c}), which "
+                    f"lacks the {cls.value!r} capability",
+                )
+            )
+    for (edge_id, steps, _tap) in artifact.routes:
+        for (r, c, _t) in steps:
+            pe_id = r * artifact.cols + c
+            if not cap.supports_id(OpClass.ROUTE, pe_id):
+                entry.findings.append(
+                    _finding(
+                        MAP_CAP,
+                        entry.path,
+                        f"edge {edge_id}: route step on PE({r},{c}), which "
+                        f"lacks the 'route' capability",
+                    )
+                )
+                break
 
 
 def _audit_fold(entry: AuditEntry, artifact) -> None:

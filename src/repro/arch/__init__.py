@@ -11,7 +11,9 @@ from repro.arch.interconnect import Coord, Interconnect
 from repro.arch.register_file import RotatingRegisterFile
 from repro.arch.memory import DataMemory, ArraySpec
 from repro.arch.pe import ProcessingElement
+from repro.arch.capability import CapabilityMap, OpClass, op_class
 from repro.arch.cgra import CGRA
+from repro.arch.presets import demo_cgra, experiment_cgra, preset, preset_names
 from repro.arch.config import (
     OperandSource,
     ReadNeighbor,
@@ -33,7 +35,14 @@ __all__ = [
     "DataMemory",
     "ArraySpec",
     "ProcessingElement",
+    "CapabilityMap",
+    "OpClass",
+    "op_class",
     "CGRA",
+    "demo_cgra",
+    "experiment_cgra",
+    "preset",
+    "preset_names",
     "OperandSource",
     "ReadNeighbor",
     "ReadRotating",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch.capability import CapabilityMap, OpClass
 from repro.arch.interconnect import Coord, Interconnect
 from repro.util.errors import ArchitectureError
 from repro.util.fingerprint import canonical_fingerprint
@@ -34,6 +35,12 @@ class CGRA:
         How many memory operations one row's data bus can serve per cycle.
     diagonal, torus:
         Interconnect flavour; the paper uses a plain 4-neighbour mesh.
+    capability:
+        Optional per-PE op-class masks (:class:`~repro.arch.capability.
+        CapabilityMap`).  ``None`` means the homogeneous fabric of the
+        paper; a homogeneous map is normalized to ``None`` so the two
+        spellings are indistinguishable (same fingerprint, same code
+        paths).
     """
 
     rows: int
@@ -42,6 +49,7 @@ class CGRA:
     mem_ports_per_row: int = 1
     diagonal: bool = False
     torus: bool = False
+    capability: CapabilityMap | None = None
     interconnect: Interconnect = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -53,6 +61,14 @@ class CGRA:
             raise ArchitectureError(
                 f"mem_ports_per_row must be >= 1, got {self.mem_ports_per_row}"
             )
+        if self.capability is not None:
+            if (self.capability.rows, self.capability.cols) != (self.rows, self.cols):
+                raise ArchitectureError(
+                    f"capability map is {self.capability.rows}x"
+                    f"{self.capability.cols}, fabric is {self.rows}x{self.cols}"
+                )
+            if self.capability.is_homogeneous:
+                self.capability = None
         self.interconnect = Interconnect(
             self.rows, self.cols, diagonal=self.diagonal, torus=self.torus
         )
@@ -79,30 +95,65 @@ class CGRA:
     def adjacent_or_same(self, a: Coord, b: Coord) -> bool:
         return self.interconnect.adjacent_or_same(a, b)
 
+    # -- capabilities ------------------------------------------------------------
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return self.capability is not None
+
+    def supports_id(self, cls_: OpClass, pe_id: int) -> bool:
+        """Whether the PE with row-major id *pe_id* supports *cls_*."""
+        if self.capability is None:
+            return True
+        return self.capability.supports_id(cls_, pe_id)
+
+    def class_mask(self, cls_: OpClass) -> tuple[bool, ...] | None:
+        """Row-major support mask for *cls_*; ``None`` means every PE
+        supports it (the compiler's filters become no-ops)."""
+        if self.capability is None:
+            return None
+        return self.capability.mask(cls_)
+
+    def class_ids(self, cls_: OpClass) -> tuple[int, ...]:
+        """Sorted PE ids supporting *cls_*."""
+        if self.capability is None:
+            return tuple(range(self.num_pes))
+        return self.capability.ids(cls_)
+
     def fingerprint(self) -> str:
         """Canonical structural hash of the architecture description.
 
         Covers every parameter that can change what the compiler produces
-        (grid, register depth, memory ports, interconnect flavour), so two
-        CGRA objects fingerprint equal iff a mapping for one is valid for
-        the other.  Used as a cache-key component by :mod:`repro.pipeline`.
+        (grid, register depth, memory ports, interconnect flavour, and any
+        capability restriction), so two CGRA objects fingerprint equal iff
+        a mapping for one is valid for the other.  Used as a cache-key
+        component by :mod:`repro.pipeline`.  The capability key is emitted
+        only for heterogeneous fabrics: the homogeneous default hashes the
+        exact payload it always has, keeping every previously committed
+        artifact address unchanged.
         """
-        return canonical_fingerprint(
-            {
-                "rows": self.rows,
-                "cols": self.cols,
-                "rf_depth": self.rf_depth,
-                "mem_ports_per_row": self.mem_ports_per_row,
-                "diagonal": self.diagonal,
-                "torus": self.torus,
-            }
-        )
+        payload = {
+            "rows": self.rows,
+            "cols": self.cols,
+            "rf_depth": self.rf_depth,
+            "mem_ports_per_row": self.mem_ports_per_row,
+            "diagonal": self.diagonal,
+            "torus": self.torus,
+        }
+        if self.capability is not None:
+            payload["capability"] = self.capability.spec()
+        return canonical_fingerprint(payload)
 
     def describe(self) -> str:
+        cap = (
+            f", capability: {self.capability.describe()}"
+            if self.capability is not None
+            else ""
+        )
         return (
             f"{self.rows}x{self.cols} CGRA "
             f"(rf_depth={self.rf_depth}, "
             f"mem_ports/row={self.mem_ports_per_row}, "
             f"{'8' if self.diagonal else '4'}-neighbour mesh"
-            f"{', torus' if self.torus else ''})"
+            f"{', torus' if self.torus else ''}{cap})"
         )

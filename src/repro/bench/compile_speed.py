@@ -43,8 +43,18 @@ DEFAULT_OUT = "BENCH_compile_speed.json"
 _FLOOR_SECONDS = 1e-3
 
 
-def _job_key(kernel: str, page_size: int) -> str:
-    return f"{kernel}/ps{page_size}"
+def _job_key(
+    kernel: str, page_size: int, arch: str | None = None, backend: str = "flat"
+) -> str:
+    """Bench-entry job key.  Arch/backend qualifiers append only when
+    non-default, so historical entries (pre-preset, flat-only) keep their
+    keys and stay comparable in the geomean."""
+    key = f"{kernel}/ps{page_size}"
+    if arch is not None:
+        key += f"/{arch}"
+    if backend != "flat":
+        key += f"/{backend}"
+    return key
 
 
 def run_compile_speed(
@@ -54,18 +64,26 @@ def run_compile_speed(
     page_sizes: Sequence[int] | None = None,
     seed: int = 0,
     workers: int = 1,
+    arch: str | None = None,
+    backend: str = "flat",
 ) -> list[CompileStats]:
     """Cold-compile the suite and return one :class:`CompileStats` per job.
 
     With ``workers > 1`` each job's (II, attempt) ladders race speculative
     probes over one shared process pool (jobs stay sequential, so per-job
     timings and counters remain cleanly attributed); artifacts and IIs are
-    byte-identical to the serial run.
+    byte-identical to the serial run.  *arch* selects a fabric preset
+    (``repro.arch.presets``; overrides *size*), *backend* the paged
+    mapping strategy (``"flat"`` or ``"hier"``).
     """
+    if arch is not None:
+        from repro.arch.presets import preset
+
+        size = preset(arch).rows
     names = list(kernels) if kernels else kernel_names()
     sizes = list(page_sizes) if page_sizes else page_sizes_for(size)
     jobs = [
-        CompileJob(kernel, size, ps, seed=seed)
+        CompileJob(kernel, size, ps, seed=seed, arch=arch, backend=backend)
         for kernel in names
         for ps in sizes
     ]
@@ -123,6 +141,15 @@ def render_report(stats: Sequence[CompileStats], history: dict | None = None) ->
         )
     total = sum(st.seconds for st in stats)
     lines.append(f"total: {total:.2f}s over {len(stats)} cold compile(s)")
+    hier_att = sum(st.counters.get("hier_attempts", 0) for st in stats)
+    if hier_att:
+        hier_wins = sum(st.counters.get("hier_wins", 0) for st in stats)
+        flat_att = sum(st.counters.get("hier_flat_attempts", 0) for st in stats)
+        flat_wins = sum(st.counters.get("hier_flat_wins", 0) for st in stats)
+        lines.append(
+            f"hier backend: clustered {hier_wins}/{hier_att} wins, "
+            f"flat-fallback {flat_wins}/{flat_att} wins"
+        )
     search = search_totals(stats)
     if search is not None:
         lines.append(
@@ -134,7 +161,10 @@ def render_report(stats: Sequence[CompileStats], history: dict | None = None) ->
     entries = (history or {}).get("entries", [])
     if entries:
         base = entries[0]
-        current = {_job_key(st.kernel, st.page_size): st.seconds for st in stats}
+        current = {
+            _job_key(st.kernel, st.page_size, st.arch, st.backend): st.seconds
+            for st in stats
+        }
         speedup = geomean_speedup(_seconds_by_job(base), current)
         if speedup is not None:
             lines.append(
@@ -175,7 +205,7 @@ def _entry_from_stats(
     totals: dict[str, int] = {}
     jobs = {}
     for st in stats:
-        jobs[_job_key(st.kernel, st.page_size)] = st.as_record()
+        jobs[_job_key(st.kernel, st.page_size, st.arch, st.backend)] = st.as_record()
         for name, value in st.counters.items():
             totals[name] = totals.get(name, 0) + value
     entry = {
@@ -232,12 +262,16 @@ def main(args) -> int:
     )
     size = args.size or 4
     workers = getattr(args, "workers", 1) or 1
+    arch = getattr(args, "arch", None)
+    backend = getattr(args, "backend", None) or "flat"
     stats = run_compile_speed(
         size=size,
         kernels=kernels,
         page_sizes=page_sizes,
         seed=args.seed,
         workers=workers,
+        arch=arch,
+        backend=backend,
     )
     out = Path(args.out or DEFAULT_OUT)
     history = json.loads(out.read_text()) if out.exists() else None
@@ -249,6 +283,14 @@ def main(args) -> int:
     if partial and args.label == "current":
         # Partial sweeps (CI smoke) must not overwrite the full-suite entry.
         print(f"[skip] partial kernel/page-size selection; not updating {out}")
+        return 0
+    if (arch is not None or backend != "flat") and args.label == "current":
+        # Arch/backend variants get their own entries; never clobber the
+        # default 4x4 flat trajectory under the 'current' label.
+        print(
+            f"[skip] arch/backend variant needs an explicit --label; "
+            f"not updating {out}"
+        )
         return 0
     data = update_bench_file(
         out, stats, label=args.label, seed=args.seed, workers=workers

@@ -134,6 +134,18 @@ def _parser() -> argparse.ArgumentParser:
         help="comma-separated page sizes (compile-speed; default: suite set)",
     )
     p.add_argument(
+        "--arch",
+        default=None,
+        help="fabric preset name from repro.arch.presets (compile-speed; "
+        "overrides --size)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["flat", "hier"],
+        default=None,
+        help="paged mapping backend (compile-speed; default flat)",
+    )
+    p.add_argument(
         "--label",
         default="current",
         help="entry label recorded in the bench file (compile-speed)",

@@ -10,7 +10,10 @@ tests can treat the mapper as untrusted:
   route steps contiguous in time, each hop 1-cycle reachable, and the final
   holder adjacent-or-same to the consumer;
 * (optionally, for paged mappings) every hop obeys the §VI-B ring-topology
-  constraint.
+  constraint;
+* on heterogeneous fabrics, capability legality: each op sits on a PE
+  supporting its op class and every route step sits on a ROUTE-capable PE
+  (:class:`~repro.util.errors.CapabilityViolation`).
 
 The inner loops run in the :class:`~repro.arch.interconnect.GridIndex`
 integer id domain: occupancy is keyed by ``pid * ii + slot``, adjacency is
@@ -23,9 +26,10 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.arch.capability import OpClass, op_class
 from repro.arch.interconnect import Coord
 from repro.compiler.mapping import Mapping, materialized_edges, materialized_ops
-from repro.util.errors import ConstraintViolation, MappingError
+from repro.util.errors import CapabilityViolation, ConstraintViolation, MappingError
 
 __all__ = ["validate_mapping"]
 
@@ -113,11 +117,23 @@ def validate_mapping(
         occ[key] = label
         return pid
 
+    # capability legality (heterogeneous fabrics only; cap/route_mask stay
+    # None on the homogeneous default and the checks vanish)
+    cap = cgra.capability
+    route_mask = cgra.class_mask(OpClass.ROUTE) if cap is not None else None
+
     bus: dict[tuple, int] = {}
     pid_of_op: dict[str, int] = {}
     for p in mapping.placements.values():
         pid = claim(p.pe, p.time, f"op{p.op_id}")
         pid_of_op[p.op_id] = pid
+        if cap is not None:
+            cls = op_class(dfg.ops[p.op_id].opcode)
+            if not cap.supports_id(cls, pid):
+                raise CapabilityViolation(
+                    f"op{p.op_id} ({cls.value}) placed on {p.pe}, which "
+                    f"does not support op class {cls.value!r}"
+                )
         if dfg.ops[p.op_id].is_memory:
             key = (bus_of(pid), p.time % ii)
             bus[key] = bus.get(key, 0) + 1
@@ -128,7 +144,12 @@ def validate_mapping(
                 )
     for r in mapping.routes.values():
         for s in r.steps:
-            claim(s.pe, s.time, f"route{r.edge_id}@{s.time}")
+            pid = claim(s.pe, s.time, f"route{r.edge_id}@{s.time}")
+            if route_mask is not None and not route_mask[pid]:
+                raise CapabilityViolation(
+                    f"route step of edge {r.edge_id} on {s.pe}, which does "
+                    "not support op class 'route'"
+                )
 
     # dataflow reachability per edge (constant operands need no routing).
     # Fanout-shared routes may *tap* a sibling route step (same producer,

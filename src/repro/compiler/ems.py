@@ -25,6 +25,7 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
+from repro.arch.capability import OpClass
 from repro.arch.cgra import CGRA
 from repro.arch.interconnect import Coord
 from repro.arch.isa import Opcode
@@ -66,11 +67,24 @@ class MapperConfig:
     candidate_cap: int = 10  # feasible candidates scored per op
     eval_budget: int = 200  # total (time, PE) candidates probed per op
     root_margin: int = 2  # extra slack before anchor-less non-source ops
+    #: Paged-mapping backend: "flat" is the original single-level ladder;
+    #: "hier" prepends a cluster-then-place hierarchical attempt at every II
+    #: rung (:mod:`repro.compiler.hier`).
+    backend: str = "flat"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("flat", "hier"):
+            raise MappingError(f"unknown mapper backend {self.backend!r}")
 
     def fingerprint(self) -> str:
         """Canonical hash over every knob — any tuning change invalidates
-        cached artifacts keyed on it (:mod:`repro.pipeline`)."""
-        return canonical_fingerprint(asdict(self))
+        cached artifacts keyed on it (:mod:`repro.pipeline`).  The default
+        ``backend`` is dropped from the payload so configs predating the
+        knob keep their fingerprint (and committed artifact addresses)."""
+        payload = asdict(self)
+        if payload["backend"] == "flat":
+            del payload["backend"]
+        return canonical_fingerprint(payload)
 
 
 @dataclass
@@ -130,6 +144,19 @@ class EMSMapper:
         self._allowed_ids: tuple[int, ...] = tuple(
             gi.id_of[pe] for pe in self.allowed_pes
         )
+        # Capability masks (None on homogeneous fabrics: every filter below
+        # degenerates to the original code path, bit for bit).
+        self._mem_ok = cgra.class_mask(OpClass.MEM)
+        self._alu_ok = cgra.class_mask(OpClass.ALU)
+        self._route_ok = cgra.class_mask(OpClass.ROUTE)
+        self._mem_capable_count = (
+            len(self._allowed_ids)
+            if self._mem_ok is None
+            else sum(1 for pid in self._allowed_ids if self._mem_ok[pid])
+        )
+        # Per-op placement domains (hier backend: ops pinned to one page's
+        # PEs); empty outside a hierarchical attempt.
+        self._op_domains: dict[int, tuple[int, ...]] = {}
         self._route_ctx = RoutingContext(cgra, hop_allowed)
         # escape direction (pe -> nb) shares the router's allowed-move table
         self._esc_ids = self._route_ctx.allowed_moves
@@ -200,9 +227,22 @@ class EMSMapper:
                 f"{n_mat} ops can never fit {len(self.allowed_pes)} PEs "
                 f"within max II {self.config.max_ii}"
             )
+        if dfg.num_memory_ops and self._mem_capable_count == 0:
+            raise MappingError(
+                f"{dfg.name!r} has {dfg.num_memory_ops} memory ops but no "
+                f"mem-capable PE is available to the mapper"
+            )
         start_ii = max(
             math.ceil(n_mat / len(self.allowed_pes)),
             math.ceil(dfg.num_memory_ops / self.mem_slots),
+            # capability floor: each mem-capable PE issues at most one
+            # memory op per II cycle (equals the ResMII term when the
+            # fabric is homogeneous, so the homogeneous ladder is unchanged)
+            (
+                math.ceil(dfg.num_memory_ops / self._mem_capable_count)
+                if dfg.num_memory_ops
+                else 1
+            ),
             rec_mii(dfg),
         )
         if min_ii is not None:
@@ -261,6 +301,27 @@ class EMSMapper:
         self._perturb(order, rng)
         return order
 
+    def lattice_attempts_per_ii(self) -> int:
+        """Width of one II rung of the (II, attempt) lattice.  Backends
+        with extra per-rung probes (:class:`~repro.compiler.hier.
+        HierMapper`) override this; the portfolio engine sizes its rank
+        lattice from it instead of assuming ``config.attempts_per_ii``."""
+        return self.config.attempts_per_ii
+
+    def run_lattice_attempt(
+        self,
+        dfg: DFG,
+        start_ii: int,
+        ii: int,
+        attempt: int,
+        orders: Sequence[Sequence[int]],
+    ) -> Mapping | None:
+        """Run the single lattice probe (*ii*, *attempt*), bit-identical to
+        the serial ladder's visit of that point (see :meth:`attempt_order`).
+        This is the probe entry point the portfolio engine races."""
+        order = self.attempt_order(orders, start_ii, ii, attempt)
+        return self._try_map(dfg, ii, order)
+
     # -- op ordering ---------------------------------------------------------------
 
     def _priority_order(self, dfg: DFG) -> list[int]:
@@ -306,11 +367,18 @@ class EMSMapper:
 
     # -- one attempt -----------------------------------------------------------------
 
-    def _try_map(self, dfg: DFG, ii: int, order: list[int]) -> Mapping | None:
+    def _try_map(
+        self,
+        dfg: DFG,
+        ii: int,
+        order: list[int],
+        domains: dict[int, tuple[int, ...]] | None = None,
+    ) -> Mapping | None:
         asap = asap_times(dfg)
         horizon = max(asap.values(), default=0) + self.config.horizon_factor * ii
         st = _Attempt(ReservationTable(self.cgra, ii, self.bus_key))
         self._rank_targets = self._spread_targets(dfg, order)
+        self._op_domains = domains or {}
         for op_id in order:
             if not self._place_op(dfg, ii, st, op_id, asap, horizon):
                 return None
@@ -408,7 +476,15 @@ class EMSMapper:
         anchor_ids = [st.placements[e.src][0] for e in pred_edges] + [
             st.placements[e.dst][0] for e in succ_edges
         ]
-        candidates = self._candidate_pes(anchor_ids, op_id)
+        if op.is_memory:
+            cap_mask = self._mem_ok
+        elif op.opcode is Opcode.ROUTE:
+            cap_mask = self._route_ok
+        else:
+            cap_mask = self._alu_ok
+        candidates = self._candidate_pes(anchor_ids, op_id, cap_mask)
+        if not candidates:
+            return False
 
         # Cost-based selection: tentatively commit feasible candidates,
         # score them, keep the best.  Each extra cycle of gap costs a route
@@ -497,13 +573,26 @@ class EMSMapper:
         st.mrt.release_id(pe_id, t, memory=dfg.ops[op_id].is_memory)
 
     def _candidate_pes(
-        self, anchor_ids: list[int], op_id: int | None = None
+        self,
+        anchor_ids: list[int],
+        op_id: int | None = None,
+        cap_mask: tuple[bool, ...] | None = None,
     ) -> list[int]:
         """Candidate PE ids, closest-to-anchors first.  The final tie-break
         is the PE id itself, which equals the old Coord (row, col) ordering
         — row-major ids are order-isomorphic to Coord's lexicographic
         order, so candidate order is unchanged from the Coord-domain
-        placer."""
+        placer.
+
+        The pool is pre-filtered by the op's capability mask (heterogeneous
+        fabrics only) and by an explicit per-op domain when the
+        hierarchical backend pinned the op to a page — illegality is ruled
+        out before enumeration instead of discovered per probe."""
+        pool: Sequence[int] = self._allowed_ids
+        if op_id is not None and self._op_domains:
+            pool = self._op_domains.get(op_id, pool)
+        if cap_mask is not None:
+            pool = [pid for pid in pool if cap_mask[pid]]
         target = self._rank_targets.get(op_id) if op_id is not None else None
         ranks = self._rank_ids
         man = self._gi.manhattan
@@ -513,7 +602,7 @@ class EMSMapper:
             rank_bias = lambda pid: 0  # noqa: E731
         if anchor_ids:
             return sorted(
-                self._allowed_ids,
+                pool,
                 key=lambda pid: (
                     sum(man[pid][a] for a in anchor_ids),
                     rank_bias(pid),
@@ -521,8 +610,8 @@ class EMSMapper:
                 ),
             )
         if ranks is not None and target is not None:
-            return sorted(self._allowed_ids, key=lambda pid: (rank_bias(pid), pid))
-        return list(self._allowed_ids)
+            return sorted(pool, key=lambda pid: (rank_bias(pid), pid))
+        return list(pool)
 
     def _commit_candidate(
         self,

@@ -1,0 +1,483 @@
+"""Hierarchical two-level place-and-route (the "hier" backend).
+
+The flat paged mapper treats the whole page chain as one big restricted
+fabric: every op considers every covered PE, and the ring constraint is
+only discovered through failed routes.  That scales poorly past ~16 PEs —
+the candidate lists grow with the array while the per-op budgets stay
+fixed, so low-II rungs burn their evaluation budget probing hopeless
+placements.  Following the space/time-decoupling idea of recent CGRA
+mappers (Tirelli et al., PAPERS.md), this backend decides *where* at page
+granularity before deciding *when* at PE granularity:
+
+1. **Cluster.**  Contract the DFG's SCCs (a recurrence can never span
+   pages on a chain — data cannot flow backwards) and order the blocks by
+   a deterministic lexicographic topological sort.  A contiguous partition
+   of that block sequence into ``k`` groups is then ring-feasible by
+   construction: every cross-group edge points forward along the chain.
+   The partition is chosen by dynamic programming to minimise the total
+   forward page distance of cut edges (the min-cut objective — each page
+   boundary an edge spans costs one route slot per firing) subject to
+   per-page slot and memory capacities (capability-aware: a page's memory
+   budget is ``min(bus slots, mem-capable PEs x II)``).  ``k`` starts at
+   the capacity lower bound and grows only while the DP is infeasible, so
+   the clustered attempt also *minimises the page need* up front.
+2. **Place.**  Run the existing intra-page mapper once, with every op's
+   candidate pool pinned to its page's PEs (``domains``) — candidate
+   enumeration is O(page size), not O(array), and routing distances are
+   short because endpoints are at most one page gap apart.
+
+The backend plugs into the (II, attempt) lattice as *attempt 0* of every
+II rung; attempts 1..N replay the flat ladder's probes unchanged.  The
+lattice therefore stays a deterministic total order that the PR-3
+portfolio engine can race speculatively and reduce canonically — serial
+and parallel runs of the hier backend are byte-identical, and the flat
+fallback guarantees the hier backend never maps less than the flat chain
+pass at the same II.
+
+The hier backend is chain-only (it never uses the ring-wrap link): the
+contiguous forward partition cannot produce a wrap dependency, and flat
+fallback attempts run on the chain topology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.arch.capability import OpClass
+from repro.arch.cgra import CGRA
+from repro.compiler.check import validate_mapping
+from repro.compiler.constraints import paged_bus_key, ring_hop_filter
+from repro.compiler.ems import EMSMapper, MapperConfig
+from repro.compiler.mapping import Mapping, materialized_ops
+from repro.compiler.paged import PagedMapping, _map_once, paged_mapper
+from repro.compiler.stats import COUNTERS, SEARCH
+from repro.core.page_schedule import extract_page_schedule
+from repro.core.paging import PageLayout
+from repro.dfg.graph import DFG
+from repro.util.errors import MappingError
+
+__all__ = ["HierMapper", "map_dfg_hier", "cluster_dfg"]
+
+_INF = float("inf")
+
+
+def _blocks(dfg: DFG):
+    """The DFG's materialized ops as SCC blocks in deterministic
+    topological order, plus the cross-block edge list (block indices).
+
+    Returns ``(block_ops, block_edges)`` where ``block_ops`` is a list of
+    op-id tuples and every ``(bi, bj)`` in ``block_edges`` has
+    ``bi < bj``.  Determinism: blocks are ordered by a lexicographic
+    topological sort keyed on the smallest op id in the block, so equal
+    DFGs produce identical partitions on every run and every worker.
+    """
+    import networkx as nx
+
+    from repro.arch.isa import Opcode
+
+    mat = set(materialized_ops(dfg))
+    g = nx.DiGraph()
+    g.add_nodes_from(mat)
+    for e in dfg.edges.values():
+        if (
+            e.src in mat
+            and e.dst in mat
+            and e.src != e.dst
+            and dfg.ops[e.src].opcode is not Opcode.CONST
+        ):
+            g.add_edge(e.src, e.dst)
+    cond = nx.condensation(g)
+    order = list(
+        nx.lexicographical_topological_sort(
+            cond, key=lambda n: min(cond.nodes[n]["members"])
+        )
+    )
+    index = {scc: i for i, scc in enumerate(order)}
+    block_ops = [tuple(sorted(cond.nodes[scc]["members"])) for scc in order]
+    block_edges = sorted(
+        {
+            (index[u], index[v])
+            for u, v in cond.edges()
+        }
+    )
+    return block_ops, block_edges
+
+
+def _partition(
+    sizes: list[tuple[int, int]],
+    block_edges: list[tuple[int, int]],
+    caps: list[tuple[int, int]],
+) -> list[int] | None:
+    """Min-cut contiguous partition of the block sequence into
+    ``len(caps)`` non-empty groups.
+
+    ``sizes[i]`` is ``(ops, mem_ops)`` of block *i*; ``caps[j]`` is the
+    ``(slot, mem)`` capacity of group (page) *j*.  The cost of a partition
+    is the sum over group boundaries of the number of edges crossing that
+    boundary — exactly the total forward page distance of all cut edges,
+    since an edge spanning *d* boundaries is counted *d* times.  Returns
+    the per-block group index, or None when no feasible partition exists.
+    """
+    m, k = len(sizes), len(caps)
+    if k < 1 or k > m:
+        return None
+    # edges crossing each boundary b (between blocks b-1 and b), via a
+    # difference array: edge (bi, bj) crosses boundaries bi+1 .. bj
+    diff = [0] * (m + 1)
+    for bi, bj in block_edges:
+        diff[bi + 1] += 1
+        diff[bj + 1] -= 1
+    cross = [0] * (m + 1)
+    acc = 0
+    for b in range(1, m):
+        acc += diff[b]
+        cross[b] = acc
+    p_ops = [0] * (m + 1)
+    p_mem = [0] * (m + 1)
+    for i, (n_ops, n_mem) in enumerate(sizes):
+        p_ops[i + 1] = p_ops[i] + n_ops
+        p_mem[i + 1] = p_mem[i] + n_mem
+    # f[j][i]: min cut cost of packing the first i blocks into the first j
+    # groups, with group j-1 ending at block i-1
+    f = [[_INF] * (m + 1) for _ in range(k + 1)]
+    back = [[-1] * (m + 1) for _ in range(k + 1)]
+    f[0][0] = 0.0
+    for j in range(1, k + 1):
+        op_cap, mem_cap = caps[j - 1]
+        # group j-1 must leave at least k-j blocks for the remaining groups
+        for i in range(j, m - (k - j) + 1):
+            best, arg = _INF, -1
+            for i0 in range(j - 1, i):
+                if p_ops[i] - p_ops[i0] > op_cap:
+                    continue  # segment grows as i0 shrinks; keep scanning up
+                if p_mem[i] - p_mem[i0] > mem_cap:
+                    continue
+                prev = f[j - 1][i0]
+                if prev is _INF:
+                    continue
+                c = prev + (cross[i0] if i0 else 0)
+                if c < best:
+                    best, arg = c, i0
+            f[j][i], back[j][i] = best, arg
+    if f[k][m] is _INF or back[k][m] < 0:
+        return None
+    groups = [0] * m
+    i = m
+    for j in range(k, 0, -1):
+        i0 = back[j][i]
+        for b in range(i0, i):
+            groups[b] = j - 1
+        i = i0
+    return groups
+
+
+def _page_caps(layout: PageLayout, k: int, ii: int) -> list[tuple[int, int]]:
+    """Per-page ``(slot, mem)`` capacities of the first *k* chain pages at
+    initiation interval *ii* (capability-aware memory budgets)."""
+    caps: list[tuple[int, int]] = []
+    bus_rows = layout.shape[0] * layout.cgra.mem_ports_per_row
+    for n in range(k):
+        mem_pes = layout.class_capable_count(n, OpClass.MEM)
+        caps.append(
+            (layout.page_size * ii, min(bus_rows, mem_pes) * ii)
+        )
+    return caps
+
+
+def cluster_dfg(
+    dfg: DFG,
+    layout: PageLayout,
+    ii: int,
+    *,
+    k_min: int | None = None,
+    blocks=None,
+) -> dict[int, int] | None:
+    """Assign every materialized op to a page of *layout*'s chain prefix.
+
+    Tries the smallest feasible page count first (from the capacity lower
+    bound, or *k_min*) and grows it while the capacity-constrained min-cut
+    DP is infeasible.  Returns ``{op_id: page}`` or None when no prefix of
+    the chain can hold the clustering (e.g. a recurrence SCC bigger than a
+    page).  Pure function of its arguments — no randomness — so every
+    worker computes the identical clustering.  *blocks* may carry a
+    precomputed ``_blocks(dfg)`` result — the decomposition is
+    II-independent, so ladder callers compute it once per DFG.
+    """
+    block_ops, block_edges = blocks if blocks is not None else _blocks(dfg)
+    if not block_ops:
+        return None
+    sizes = [
+        (
+            len(ops),
+            sum(1 for o in ops if dfg.ops[o].is_memory),
+        )
+        for ops in block_ops
+    ]
+    n_mat = sum(s[0] for s in sizes)
+    n_mem = sum(s[1] for s in sizes)
+    full_caps = _page_caps(layout, layout.num_pages, ii)
+    if k_min is None:
+        per_page_mem = max((c[1] for c in full_caps), default=1)
+        k_min = max(
+            1,
+            math.ceil(n_mat / (layout.page_size * ii)),
+            math.ceil(n_mem / max(1, per_page_mem)),
+        )
+    for k in range(max(1, k_min), layout.num_pages + 1):
+        groups = _partition(sizes, block_edges, full_caps[:k])
+        if groups is None:
+            continue
+        assignment: dict[int, int] = {}
+        for b, ops in enumerate(block_ops):
+            for op in ops:
+                assignment[op] = groups[b]
+        return assignment
+    return None
+
+
+class HierMapper:
+    """Two-level paged mapper speaking the lattice-attempt protocol.
+
+    Rung layout: attempt 0 is the clustered (hierarchical) probe; attempts
+    ``1 .. config.attempts_per_ii`` are the flat chain ladder's attempts
+    ``0 .. attempts_per_ii - 1``, bit for bit (same op orders, same
+    replayed rng perturbations).  Both the serial :meth:`map` ladder and
+    the portfolio engine enumerate exactly this lattice, which keeps the
+    hier backend's artifacts byte-identical across worker counts.
+    """
+
+    def __init__(
+        self,
+        cgra: CGRA,
+        layout: PageLayout,
+        config: MapperConfig | None = None,
+    ) -> None:
+        self.cgra = cgra
+        self.layout = layout
+        self.config = config or MapperConfig()
+        #: the flat chain mapper used for fallback attempts (and for the
+        #: ladder bounds, so hier and flat ladders start at the same rung)
+        self.flat = paged_mapper(cgra, layout, self.config)
+        # per-prefix sub-mappers for clustered attempts, built lazily
+        self._subs: dict[tuple[int, bool], tuple[EMSMapper, PageLayout]] = {}
+        # reduced-budget single-page mapper for the diversification probes
+        # (fail fast; an easy win still lands well inside these budgets)
+        self._cheap: EMSMapper | None = None
+        # SCC/topo block decomposition is II-independent: one entry per DFG,
+        # shared by every rung of a ladder (and every probe in a worker)
+        self._block_cache: dict[str, tuple] = {}
+
+    # -- ladder protocol (mirrors EMSMapper's) --------------------------------------
+
+    def ladder_start_ii(self, dfg: DFG, *, min_ii: int | None = None) -> int:
+        return self.flat.ladder_start_ii(dfg, min_ii=min_ii)
+
+    def ladder_fail_message(self, dfg: DFG) -> str:
+        return self.flat.ladder_fail_message(dfg)
+
+    def attempt_orders(self, dfg: DFG) -> list[list[int]]:
+        return self.flat.attempt_orders(dfg)
+
+    def lattice_attempts_per_ii(self) -> int:
+        return self.config.attempts_per_ii + 1
+
+    def run_lattice_attempt(
+        self, dfg: DFG, start_ii: int, ii: int, attempt: int, orders
+    ) -> Mapping | None:
+        if attempt == 0:
+            COUNTERS.hier_attempts += 1
+            mapping = self._hier_attempt(dfg, ii, orders)
+            if mapping is not None:
+                COUNTERS.hier_wins += 1
+            return mapping
+        COUNTERS.hier_flat_attempts += 1
+        order = self.flat.attempt_order(orders, start_ii, ii, attempt - 1)
+        mapping = self.flat._try_map(dfg, ii, order)
+        if mapping is not None:
+            COUNTERS.hier_flat_wins += 1
+        return mapping
+
+    def map(self, dfg: DFG, *, min_ii: int | None = None) -> Mapping:
+        """Serial ladder over the widened lattice (first success wins)."""
+        start_ii = self.ladder_start_ii(dfg, min_ii=min_ii)
+        SEARCH.serial_ladders += 1
+        orders = self.attempt_orders(dfg)
+        for ii in range(start_ii, self.config.max_ii + 1):
+            for attempt in range(self.lattice_attempts_per_ii()):
+                result = self.run_lattice_attempt(
+                    dfg, start_ii, ii, attempt, orders
+                )
+                if result is not None:
+                    return result
+        raise MappingError(self.ladder_fail_message(dfg))
+
+    # -- the clustered attempt -------------------------------------------------------
+
+    def _sub(
+        self, k: int, *, cheap: bool = False
+    ) -> tuple[EMSMapper, PageLayout]:
+        key = (k, cheap)
+        hit = self._subs.get(key)
+        if hit is None:
+            sub = (
+                self.layout.subchain(k)
+                if k < self.layout.num_pages
+                else self.layout
+            )
+            config = (
+                replace(
+                    self.config, eval_budget=50, route_budget=800, candidate_cap=6
+                )
+                if cheap
+                else self.config
+            )
+            hit = (paged_mapper(self.cgra, sub, config), sub)
+            self._subs[key] = hit
+        return hit
+
+    def _hier_attempt(self, dfg: DFG, ii: int, orders) -> Mapping | None:
+        # Single-row/column page tiles (ps=2 is 2x1) leave clustered
+        # domains no lateral routing room: the probe essentially never
+        # succeeds but still burns its full eval budget at every rung.
+        # Fall straight through to the flat replay attempts there.
+        if min(self.layout.shape) < 2:
+            return None
+        fp = dfg.fingerprint()
+        blocks = self._block_cache.get(fp)
+        if blocks is None:
+            blocks = self._block_cache[fp] = _blocks(dfg)
+        assignment = cluster_dfg(dfg, self.layout, ii, blocks=blocks)
+        if assignment is None:
+            return None
+        k = 1 + max(assignment.values())
+        mapper, sub = self._sub(k, cheap=k > 1)
+        id_of = self.cgra.grid_index.id_of
+        page_ids = {
+            n: tuple(sorted(id_of[pe] for pe in sub.coords_of_page(n)))
+            for n in range(k)
+        }
+        domains = {op: page_ids[page] for op, page in assignment.items()}
+        # primary probe, first base order (reverse dataflow: consumers
+        # first, so each op's edges route the moment it lands).  Multi-page
+        # probes run at reduced budget: hard page domains either place
+        # quickly or not at all, and a cheap failure keeps the rung's cost
+        # near the flat ladder's.
+        mapping = mapper._try_map(dfg, ii, list(orders[0]), domains=domains)
+        if mapping is not None or k > 1:
+            return mapping
+        # Single-page kernels: the page domain is vacuous (every op may use
+        # the whole 1-page prefix), so the clustered probe is really a
+        # small-prefix search — worth diversifying over the remaining base
+        # orders at reduced budget.  A win here short-circuits the rung's
+        # full-array flat attempts AND the page-minimisation epilogue; a
+        # loss costs little because the budgets fail fast on 1 page.
+        if self._cheap is None:
+            self._cheap = paged_mapper(
+                self.cgra,
+                sub,
+                replace(
+                    self.config,
+                    eval_budget=50,
+                    route_budget=800,
+                    candidate_cap=6,
+                ),
+            )
+        for oi in range(1, len(orders)):
+            mapping = self._cheap._try_map(
+                dfg, ii, list(orders[oi]), domains=domains
+            )
+            if mapping is not None:
+                return mapping
+        return None
+
+
+def _spanned_prefix(mapping: Mapping, layout: PageLayout) -> int:
+    """Number of chain-prefix pages the mapping actually touches
+    (placements and route steps)."""
+    page_of = layout.page_of
+    top = 0
+    for p in mapping.placements.values():
+        top = max(top, page_of[p.pe])
+    for r in mapping.routes.values():
+        for s in r.steps:
+            top = max(top, page_of[s.pe])
+    return top + 1
+
+
+def map_dfg_hier(
+    dfg: DFG,
+    cgra: CGRA,
+    layout: PageLayout,
+    *,
+    config: MapperConfig | None = None,
+    min_ii: int | None = None,
+    validate: bool = True,
+    minimize_pages: bool = True,
+    search=None,
+    search_log=None,
+) -> PagedMapping:
+    """Map *dfg* with the hierarchical backend (see the module docstring).
+
+    Entry point the paged compiler dispatches to for
+    ``config.backend == "hier"``; the signature mirrors
+    :func:`~repro.compiler.paged.map_dfg_paged` minus ``wrap_fallback``
+    (the hier backend is chain-only).  With a live *search* context the
+    widened (II, attempt) lattice is raced speculatively with canonical
+    reduction — byte-identical to the serial path.
+    """
+    if layout.cgra is not cgra:
+        raise MappingError("layout was built for a different CGRA instance")
+    cfg = config or MapperConfig()
+    if search is not None:
+        from repro.compiler.search import MapperSpec, portfolio_map
+
+        spec = MapperSpec.for_paged(cgra, layout, cfg)
+        mapping = portfolio_map(
+            spec, dfg, cgra=cgra, min_ii=min_ii, ctx=search, log=search_log
+        )
+    else:
+        mapping = HierMapper(cgra, layout, cfg).map(dfg, min_ii=min_ii)
+    k = _spanned_prefix(mapping, layout)
+    sub = layout.subchain(k) if k < layout.num_pages else layout
+    if validate:
+        validate_mapping(
+            mapping,
+            allowed_pes=[pe for pe in cgra.coords() if pe in sub.page_of],
+            hop_allowed=ring_hop_filter(sub),
+            bus_key=paged_bus_key(sub),
+        )
+    best = PagedMapping(mapping, sub, extract_page_schedule(mapping, sub), layout)
+    if not minimize_pages:
+        return best
+    # Same page-need minimisation as the flat backend: re-map onto smaller
+    # prefixes while the II is preserved.  When the clustered attempt won,
+    # k already sits at the capacity lower bound and this loop is empty.
+    # (A capability-starved prefix just fails its ladder and is skipped.)
+    n_mat = len(materialized_ops(dfg))
+    slots_per_page = layout.page_size * best.ii
+    mem_per_page = layout.shape[0] * cgra.mem_ports_per_row * best.ii
+    k_min = max(
+        1,
+        math.ceil(n_mat / slots_per_page),
+        math.ceil(dfg.num_memory_ops / max(1, mem_per_page)),
+    )
+    tight = replace(cfg, max_ii=best.ii, backend="flat")
+    for k2 in range(k_min, best.layout.num_pages):
+        try:
+            candidate = _map_once(
+                dfg,
+                cgra,
+                layout.subchain(k2),
+                tight,
+                min_ii,
+                validate,
+                full_layout=layout,
+                search=search,
+                search_log=search_log,
+            )
+        except MappingError:
+            continue
+        if candidate.ii <= best.ii:
+            return candidate
+    return best

@@ -35,9 +35,10 @@ from __future__ import annotations
 
 from typing import Callable, Hashable
 
+from repro.arch.capability import OpClass
 from repro.arch.cgra import CGRA
 from repro.arch.interconnect import Coord
-from repro.util.errors import MappingError
+from repro.util.errors import CapabilityViolation, MappingError
 
 __all__ = ["ReservationTable"]
 
@@ -60,6 +61,7 @@ class ReservationTable:
         "_bus_segments",
         "_bus_use",
         "_bus_cap",
+        "_mem_mask",
     )
 
     def __init__(
@@ -86,6 +88,8 @@ class ReservationTable:
         # use count per (segment, modulo slot), flat [seg * ii + slot]
         self._bus_use: list[int] = []
         self._bus_cap = cgra.mem_ports_per_row
+        # None on homogeneous fabrics (no per-claim capability check at all)
+        self._mem_mask = cgra.class_mask(OpClass.MEM)
 
     # -- id plumbing ---------------------------------------------------------------
 
@@ -145,6 +149,11 @@ class ReservationTable:
                 f"cannot add {label}"
             )
         if memory:
+            if self._mem_mask is not None and not self._mem_mask[pe_id]:
+                pe = self.cgra.grid_index.coords[pe_id]
+                raise CapabilityViolation(
+                    f"memory op on {pe}, which has no memory capability"
+                )
             b = self._bus_id(pe_id)
             if self._bus_use[b * self.ii + m] >= self._bus_cap:
                 pe = self.cgra.grid_index.coords[pe_id]
@@ -187,6 +196,7 @@ class ReservationTable:
         dup._bus_segments = dict(self._bus_segments)
         dup._bus_use = self._bus_use.copy()
         dup._bus_cap = self._bus_cap
+        dup._mem_mask = self._mem_mask
         return dup
 
     @property

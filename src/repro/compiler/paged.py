@@ -22,7 +22,7 @@ from repro.core.paging import PageLayout
 from repro.dfg.analysis import rec_mii
 from repro.util.errors import MappingError
 
-__all__ = ["PagedMapping", "map_dfg_paged"]
+__all__ = ["PagedMapping", "map_dfg_paged", "paged_mapper"]
 
 
 @dataclass
@@ -146,6 +146,23 @@ def map_dfg_paged(
                 search=ctx,
                 search_log=search_log,
             )
+    if (config or MapperConfig()).backend == "hier":
+        # third backend: cluster-then-place (chain topology only); shares
+        # the flat ladder as its in-lattice fallback, so it can only match
+        # or beat the chain pass — see repro.compiler.hier.
+        from repro.compiler.hier import map_dfg_hier
+
+        return map_dfg_hier(
+            dfg,
+            cgra,
+            layout,
+            config=config,
+            min_ii=min_ii,
+            validate=validate,
+            minimize_pages=minimize_pages,
+            search=search,
+            search_log=search_log,
+        )
     best = _map_topologies(
         dfg, cgra, layout, config, min_ii, validate, wrap_fallback,
         search, search_log,
@@ -224,6 +241,26 @@ def _map_topologies(
             )
 
 
+def paged_mapper(
+    cgra: CGRA, layout: PageLayout, config: MapperConfig | None
+) -> EMSMapper:
+    """The flat ring-constrained mapper of *layout*: the §VI-B wiring
+    (covered PEs, ring hop filter, banked bus key, page-rank bias) shared
+    by the serial path, the portfolio's :class:`~repro.compiler.search.
+    MapperSpec` and the hierarchical backend."""
+    allowed = [pe for pe in cgra.coords() if pe in layout.page_of]
+    mem_slots = layout.num_pages * layout.shape[0] * cgra.mem_ports_per_row
+    return EMSMapper(
+        cgra,
+        allowed_pes=allowed,
+        hop_allowed=ring_hop_filter(layout),
+        mem_slots_per_cycle=mem_slots,
+        bus_key=paged_bus_key(layout),
+        pe_rank=lambda pe: layout.page_of[pe],
+        config=config,
+    )
+
+
 def _map_once(
     dfg,
     cgra: CGRA,
@@ -245,17 +282,7 @@ def _map_once(
             spec, dfg, cgra=cgra, min_ii=min_ii, ctx=search, log=search_log
         )
     else:
-        mem_slots = layout.num_pages * layout.shape[0] * cgra.mem_ports_per_row
-        mapper = EMSMapper(
-            cgra,
-            allowed_pes=allowed,
-            hop_allowed=hop,
-            mem_slots_per_cycle=mem_slots,
-            bus_key=paged_bus_key(layout),
-            pe_rank=lambda pe: layout.page_of[pe],
-            config=config,
-        )
-        mapping = mapper.map(dfg, min_ii=min_ii)
+        mapping = paged_mapper(cgra, layout, config).map(dfg, min_ii=min_ii)
     if validate:
         validate_mapping(
             mapping,

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.arch.capability import OpClass
 from repro.arch.cgra import CGRA
 from repro.arch.interconnect import Coord
 from repro.compiler.mapping import RouteStep
@@ -61,13 +62,25 @@ class RoutingContext:
     lazily on first use and reused for the rest of the mapping run.
     """
 
-    __slots__ = ("gi", "hop_allowed", "allowed_moves", "_moves_toward", "_goals")
+    __slots__ = (
+        "gi",
+        "hop_allowed",
+        "allowed_moves",
+        "_route_mask",
+        "_moves_toward",
+        "_goals",
+    )
 
     def __init__(self, cgra: CGRA, hop_allowed: HopFilter | None = None) -> None:
         gi = cgra.grid_index
         self.gi = gi
         self.hop_allowed = hop_allowed
-        if hop_allowed is None:
+        # A transition *into* q parks a route step on q, so q must be
+        # ROUTE-capable; homogeneous fabrics have no mask and keep the
+        # original (byte-identical) tables.
+        route_mask = cgra.class_mask(OpClass.ROUTE)
+        self._route_mask = route_mask
+        if hop_allowed is None and route_mask is None:
             # identical order to Interconnect.reachable_in_one: self first
             self.allowed_moves: tuple[tuple[int, ...], ...] = gi.reach1_ids
         else:
@@ -76,7 +89,11 @@ class RoutingContext:
                 tuple(
                     q
                     for q in gi.reach1_ids[p]
-                    if hop_allowed(coords[p], coords[q])
+                    if (route_mask is None or route_mask[q])
+                    and (
+                        hop_allowed is None
+                        or hop_allowed(coords[p], coords[q])
+                    )
                 )
                 for p in range(gi.num_pes)
             )
@@ -139,10 +156,20 @@ class RoutingContext:
             mask = [False] * gi.num_pes
             for g in goal:
                 mask[g] = True
-            if goal:
+            # A multi-hop route can only *end* on a ROUTE-capable goal (the
+            # last holder is a route step); pre-filtering tightens the
+            # pruning bound.  The full mask stays as-is: a direct 1-cycle
+            # producer->consumer read needs no route capability at all.
+            if self._route_mask is None:
+                search_goal = goal
+            else:
+                rm = self._route_mask
+                search_goal = [g for g in goal if rm[g]]
+            if search_goal:
                 man = gi.manhattan
                 min_dist = tuple(
-                    min(man[q][g] for g in goal) for q in range(gi.num_pes)
+                    min(man[q][g] for g in search_goal)
+                    for q in range(gi.num_pes)
                 )
                 # legacy v1 anchor: first member of the goal built as a set
                 # of Coords in reachable_in_one insertion order

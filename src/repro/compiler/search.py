@@ -88,6 +88,14 @@ class MapperSpec:
     page_shape: tuple[int, int] | None = None
     allow_wrap: bool = False
     num_pages: int | None = None
+    # canonical restricted-classes encoding of the fabric's CapabilityMap
+    # (None on the homogeneous default) — hashable, so it can sit in the
+    # worker-side context cache key like every other spec field
+    capability: tuple[tuple[str, tuple[int, ...]], ...] | None = None
+
+    @staticmethod
+    def _capability_of(cgra: CGRA):
+        return cgra.capability.classes if cgra.capability is not None else None
 
     @classmethod
     def for_base(cls, cgra: CGRA, config: MapperConfig) -> "MapperSpec":
@@ -99,6 +107,7 @@ class MapperSpec:
             diagonal=cgra.diagonal,
             torus=cgra.torus,
             config=config,
+            capability=cls._capability_of(cgra),
         )
 
     @classmethod
@@ -117,18 +126,36 @@ class MapperSpec:
             page_shape=tuple(layout.shape),
             allow_wrap=layout.allow_wrap,
             num_pages=layout.num_pages,
+            capability=cls._capability_of(cgra),
         )
 
-    def build(self) -> EMSMapper:
-        """Reconstruct the mapper (mirrors ``paged._map_once``'s wiring)."""
-        cgra = CGRA(
+    def build_cgra(self) -> CGRA:
+        from repro.arch.capability import CapabilityMap
+
+        return CGRA(
             self.rows,
             self.cols,
             rf_depth=self.rf_depth,
             mem_ports_per_row=self.mem_ports_per_row,
             diagonal=self.diagonal,
             torus=self.torus,
+            capability=(
+                CapabilityMap(self.rows, self.cols, self.capability)
+                if self.capability is not None
+                else None
+            ),
         )
+
+    def build(self):
+        """Reconstruct the mapper (mirrors ``paged._map_once``'s wiring).
+
+        Returns an :class:`EMSMapper`, or a :class:`~repro.compiler.hier.
+        HierMapper` when the spec is paged and the config selects the
+        hierarchical backend — both speak the lattice-attempt protocol
+        (``lattice_attempts_per_ii`` / ``run_lattice_attempt``) the probe
+        runner drives.
+        """
+        cgra = self.build_cgra()
         if self.page_shape is None:
             return EMSMapper(cgra, config=self.config)
         from repro.compiler.constraints import paged_bus_key, ring_hop_filter
@@ -137,6 +164,10 @@ class MapperSpec:
         layout = PageLayout(cgra, self.page_shape, allow_wrap=self.allow_wrap)
         if self.num_pages is not None and self.num_pages < layout.num_pages:
             layout = layout.subchain(self.num_pages)
+        if self.config.backend == "hier":
+            from repro.compiler.hier import HierMapper
+
+            return HierMapper(cgra, layout, self.config)
         allowed = [pe for pe in cgra.coords() if pe in layout.page_of]
         mem_slots = (
             layout.num_pages * layout.shape[0] * cgra.mem_ports_per_row
@@ -180,11 +211,11 @@ class ProbeResult:
 # routing context) and the base op orders once per ladder instead of once
 # per probe.  Keyed by (spec, dfg fingerprint); bounded, since a worker
 # serves many ladders over its lifetime.
-_CTX_CACHE: dict[tuple, tuple[EMSMapper, list[list[int]]]] = {}
+_CTX_CACHE: dict[tuple, tuple[object, list[list[int]]]] = {}
 _CTX_CACHE_MAX = 8
 
 
-def _probe_context(task: ProbeTask) -> tuple[EMSMapper, list[list[int]]]:
+def _probe_context(task: ProbeTask) -> tuple[object, list[list[int]]]:
     key = (task.spec, task.dfg_fp)
     hit = _CTX_CACHE.get(key)
     if hit is None:
@@ -205,8 +236,9 @@ def run_probe(task: ProbeTask) -> ProbeResult:
     before = COUNTERS.snapshot()
     started = time.perf_counter()
     mapper, orders = _probe_context(task)
-    order = mapper.attempt_order(orders, task.start_ii, task.ii, task.attempt)
-    mapping = mapper._try_map(task.dfg, task.ii, order)
+    mapping = mapper.run_lattice_attempt(
+        task.dfg, task.start_ii, task.ii, task.attempt, orders
+    )
     return ProbeResult(
         ii=task.ii,
         attempt=task.attempt,
@@ -364,7 +396,7 @@ def portfolio_map(
     mapper = spec.build()
     start_ii = mapper.ladder_start_ii(dfg, min_ii=min_ii)
     cfg = spec.config
-    per_ii = cfg.attempts_per_ii
+    per_ii = mapper.lattice_attempts_per_ii()
     n_ranks = (cfg.max_ii - start_ii + 1) * per_ii
     dfg_fp = dfg.fingerprint()
     report = LadderReport(start_ii=start_ii, attempts_per_ii=per_ii)

@@ -166,6 +166,18 @@ class PageLayout:
             Coord(o.row + dr, o.col + dc) for dr in range(h) for dc in range(w)
         )
 
+    def class_capable_count(self, n: int, cls_) -> int:
+        """How many PEs of page *n* support op class *cls_*
+        (:class:`~repro.arch.capability.OpClass`).  The whole page on a
+        homogeneous fabric; the hierarchical backend sizes per-page
+        cluster capacities (e.g. memory-op budgets) from this."""
+        self._check_page(n)
+        mask = self.cgra.class_mask(cls_)
+        if mask is None:
+            return self.page_size
+        gi = self.cgra.grid_index
+        return sum(1 for pe in self.coords_of_page(n) if mask[gi.id_of[pe]])
+
     def place_local(
         self, n: int, local: Coord, orientation: Orientation = Orientation.IDENTITY
     ) -> Coord:

@@ -63,6 +63,12 @@ class CompiledKernel:
     ``m <= pages_used``.  ``unmappable`` artifacts record that the paged
     compiler could not honour the constraints (the paper likewise omits
     such configurations); they keep the baseline II and nothing else.
+
+    ``capability`` is the fabric's heterogeneous PE capability map in the
+    canonical :attr:`~repro.arch.capability.CapabilityMap.classes` encoding
+    (None for homogeneous fabrics).  It is emitted in the JSON only when
+    set, so artifacts of homogeneous fabrics — including every artifact
+    minted before the capability model existed — keep their exact bytes.
     """
 
     kernel: str
@@ -91,6 +97,7 @@ class CompiledKernel:
         ...,
     ] = ()
     steady_ii: tuple[tuple[int, int, int], ...] = ()
+    capability: tuple[tuple[str, tuple[int, ...]], ...] | None = None
 
     # -- identity -------------------------------------------------------------------
 
@@ -101,7 +108,7 @@ class CompiledKernel:
     # -- serialization --------------------------------------------------------------
 
     def to_json_dict(self) -> dict:
-        return {
+        payload = {
             "version": ARTIFACT_VERSION,
             "kernel": self.kernel,
             "rows": self.rows,
@@ -126,6 +133,11 @@ class CompiledKernel:
             ],
             "steady_ii": [list(s) for s in self.steady_ii],
         }
+        if self.capability is not None:
+            payload["capability"] = [
+                [cls_, list(ids)] for (cls_, ids) in self.capability
+            ]
+        return payload
 
     def to_json(self) -> str:
         """Canonical encoding: equal artifacts serialize byte-identically."""
@@ -168,6 +180,11 @@ class CompiledKernel:
                     for (e, steps, tap) in raw["routes"]
                 ),
                 steady_ii=tuple(tuple(s) for s in raw["steady_ii"]),
+                capability=tuple(
+                    (cls_, tuple(ids)) for (cls_, ids) in raw["capability"]
+                )
+                if raw.get("capability") is not None
+                else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ArtifactError(f"malformed artifact payload: {exc}") from exc
@@ -218,11 +235,16 @@ class CompiledKernel:
                 f"DFG fingerprint {dfg.fingerprint()} does not match the "
                 f"artifact's {self.dfg_fp}"
             )
+        from repro.arch.capability import CapabilityMap
+
         cgra = CGRA(
             self.rows,
             self.cols,
             rf_depth=self.rf_depth,
             mem_ports_per_row=self.mem_ports_per_row,
+            capability=CapabilityMap(self.rows, self.cols, self.capability)
+            if self.capability is not None
+            else None,
         )
         full = PageLayout(cgra, self.page_shape)
         layout = PageLayout(cgra, self.page_shape, allow_wrap=self.layout_wrap)

@@ -65,6 +65,13 @@ class CompileJob:
     ``mapper`` overrides the mapper tuning; by default the experiments'
     standard configuration (seeded, 4 attempts per II) is derived from
     ``seed``.  Jobs are hashable (dedup) and picklable (process fan-out).
+
+    ``arch`` selects a named fabric preset (:func:`repro.arch.presets.
+    preset` — e.g. ``"8x8-memcols"`` for the memory-capable-columns
+    heterogeneous fabric); by default the job builds the homogeneous
+    ``size`` x ``size`` grid, which is fingerprint-identical to the
+    ``"{size}x{size}"`` preset.  ``backend`` picks the paged mapping
+    strategy (``"flat"`` or ``"hier"``) when ``mapper`` is not given.
     """
 
     kernel: str
@@ -73,15 +80,29 @@ class CompileJob:
     prefer: str = "square"
     seed: int = 0
     mapper: MapperConfig | None = None
+    arch: str | None = None
+    backend: str = "flat"
 
     @property
     def mapper_config(self) -> MapperConfig:
-        return self.mapper or MapperConfig(seed=self.seed, attempts_per_ii=4)
+        return self.mapper or MapperConfig(
+            seed=self.seed, attempts_per_ii=4, backend=self.backend
+        )
 
     def build_cgra(self) -> CGRA:
-        # rf_depth = 4 * size: §VI-E requires N registers for N pages, and
-        # the experiments' largest page count per grid is rows*cols/2.
-        return CGRA(self.size, self.size, rf_depth=4 * self.size)
+        if self.arch is not None:
+            from repro.arch.presets import preset
+
+            cgra = preset(self.arch)
+            if (cgra.rows, cgra.cols) != (self.size, self.size):
+                raise MappingError(
+                    f"preset {self.arch!r} is {cgra.rows}x{cgra.cols}, "
+                    f"but the job says size={self.size}"
+                )
+            return cgra
+        from repro.arch.presets import experiment_cgra
+
+        return experiment_cgra(self.size)
 
 
 @dataclass(frozen=True)
@@ -107,6 +128,8 @@ class CompileStats:
     paged_map_seconds: float
     counters: dict[str, int]
     search: dict | None = field(default=None)
+    arch: str | None = field(default=None)
+    backend: str = "flat"
 
     def as_record(self) -> dict:
         rec = {
@@ -120,6 +143,10 @@ class CompileStats:
         }
         if self.search is not None:
             rec["search"] = dict(self.search)
+        if self.arch is not None:
+            rec["arch"] = self.arch
+        if self.backend != "flat":
+            rec["backend"] = self.backend
         return rec
 
 
@@ -194,6 +221,7 @@ def compile_job_stats(
         rf_depth=cgra.rf_depth,
         mem_ports_per_row=cgra.mem_ports_per_row,
         page_shape=layout.shape,
+        capability=cgra.capability.classes if cgra.capability is not None else None,
         seed=job.seed,
         dfg_fp=key.dfg_fp,
         arch_fp=key.arch_fp,
@@ -210,6 +238,8 @@ def compile_job_stats(
             paged_map_seconds=paged_seconds,
             counters=COUNTERS.delta(counters_before),
             search=_search_record(search_log) if search_log is not None else None,
+            arch=job.arch,
+            backend=job.backend,
         )
 
     paged_started = time.perf_counter()

@@ -101,6 +101,28 @@ def _operand_for_edge(
     return ResolvedRead(holder_pe, holder_time + iteration * mapping.ii)
 
 
+def _check_capability(mapping: Mapping, dfg) -> None:
+    """A firing on a PE that cannot execute its op class would be silent
+    hardware fiction — refuse to lower such a schedule.  Free on
+    homogeneous fabrics (no capability map, no loop)."""
+    cgra = mapping.cgra
+    if cgra.capability is None:
+        return
+    from repro.arch.capability import op_class
+
+    id_of = cgra.grid_index.id_of
+    for op_id, p in mapping.placements.items():
+        op = dfg.ops.get(op_id)
+        if op is None:
+            continue
+        cls = op_class(op.opcode)
+        if not cgra.capability.supports_id(cls, id_of[p.pe]):
+            raise SimulationError(
+                f"cannot lower: op{op_id} ({cls.value}) is placed on "
+                f"{p.pe}, which lacks the {cls.value!r} capability"
+            )
+
+
 def lower_mapping(
     mapping: Mapping,
     memory: DataMemory,
@@ -124,6 +146,7 @@ def lower_mapping(
     if start_cycle < 0:
         raise SimulationError(f"start_cycle must be >= 0, got {start_cycle}")
     dfg, ii = mapping.dfg, mapping.ii
+    _check_capability(mapping, dfg)
     firings: list[Firing] = []
 
     for i in range(trip):

@@ -31,6 +31,12 @@ class ConstraintViolation(ReproError):
     or a transformation output constraint was violated."""
 
 
+class CapabilityViolation(ConstraintViolation):
+    """A mapping executes an op (or parks a route step) on a PE whose
+    capability mask does not support that op class
+    (:mod:`repro.arch.capability`)."""
+
+
 class TransformError(ReproError):
     """The PageMaster transformation failed or was asked an illegal shrink."""
 
