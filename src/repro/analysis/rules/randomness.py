@@ -33,12 +33,29 @@ _NUMPY_SEEDED_API = frozenset(
     }
 )
 
+#: Constructors from the seeded API that fall back to OS entropy when no
+#: seed is passed — fine to *reference*, but a call must carry one.
+_NUMPY_SEED_REQUIRED = frozenset(
+    {"PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "SeedSequence"}
+)
+
 #: Files allowed to construct generators: the one seeding choke point.
 EXEMPT_PATH_SUFFIXES = ("repro/util/rng.py",)
 
 
 def _is_none(node: ast.AST) -> bool:
     return isinstance(node, ast.Constant) and node.value is None
+
+
+def _has_explicit_seed(node: ast.Call) -> bool:
+    """True when the call passes a non-None seed, positionally or as the
+    ``seed=``/``entropy=`` keyword (``SeedSequence`` spells it entropy)."""
+    if node.args and not _is_none(node.args[0]):
+        return True
+    for kw in node.keywords:
+        if kw.arg in ("seed", "entropy") and not _is_none(kw.value):
+            return True
+    return False
 
 
 def _check_unseeded_rng(ctx) -> Iterator[Finding]:
@@ -63,12 +80,12 @@ def _check_unseeded_rng(ctx) -> Iterator[Finding]:
             )
         elif target.startswith("numpy.random."):
             attr = target.rsplit(".", 1)[1]
-            if attr == "default_rng":
-                if not node.args or _is_none(node.args[0]):
+            if attr == "default_rng" or attr in _NUMPY_SEED_REQUIRED:
+                if not _has_explicit_seed(node):
                     yield ctx.finding(
                         RNG_SEED,
                         node,
-                        "numpy.random.default_rng() without a seed draws OS "
+                        f"numpy.random.{attr}() without a seed draws OS "
                         "entropy",
                     )
             elif attr not in _NUMPY_SEEDED_API:

@@ -114,9 +114,16 @@ def _parser() -> argparse.ArgumentParser:
             "compile-speed",
             "analysis",
             "sim-oracle",
+            "policies",
             "all",
             "list",
         ],
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="policies: tiny oracle-verified CI variant (2 policies, no "
+        "bench-file update)",
     )
     p.add_argument("--page-size", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
@@ -180,7 +187,11 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.experiment == "list":
-        print("\n".join([*EXPERIMENTS, "compile-speed", "analysis", "sim-oracle"]))
+        print(
+            "\n".join(
+                [*EXPERIMENTS, "compile-speed", "analysis", "sim-oracle", "policies"]
+            )
+        )
         return 0
     if args.experiment == "analysis":
         # Lint + audit over the default tree/store; same exit-code
@@ -188,6 +199,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as analysis_main
 
         return analysis_main(["all", "--strict"])
+    if args.experiment == "policies":
+        # Policy tournament + engine-scale bench: pure simulation.
+        from repro.bench.policies import main as policies_main
+
+        return policies_main(args)
     if args.experiment == "sim-oracle":
         # Pure-simulation differential check: no compilation, no cache.
         from repro.sim.fuzz import run_fuzz

@@ -34,10 +34,12 @@ __all__ = [
     "NeedAwareHalvingPolicy",
     "FairSharePolicy",
     "StaticEqualPolicy",
+    "BestFitPolicy",
+    "PriorityEvictionPolicy",
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Allocation:
     """A contiguous page segment ``[start, start + length)``."""
 
@@ -58,8 +60,11 @@ class AllocationPolicy(Protocol):
 
     Both hooks receive the current resident map and return the complete new
     map (threads absent from the result are queued / unchanged semantics
-    are owned by the manager).  Returning ``None`` from :meth:`admit` means
-    the newcomer cannot be admitted now.  ``needs`` maps thread ids to
+    are owned by the manager).  The map passed in is the manager's live
+    bookkeeping — policies must treat it as read-only and build a fresh
+    dict for their answer; the manager deliberately skips a defensive copy
+    on what is the hottest call of a large simulation.  Returning ``None``
+    from :meth:`admit` means the newcomer cannot be admitted now.  ``needs`` maps thread ids to
     their page *need* (the compiled kernel's ``pages_used``); policies may
     ignore it, or use it to avoid granting pages a thread cannot convert
     into speed.
@@ -83,13 +88,15 @@ class AllocationPolicy(Protocol):
 
 
 def _free_segments(n_pages: int, residents: dict[int, Allocation]) -> list[Allocation]:
-    used = sorted(residents.values(), key=lambda a: a.start)
+    if not residents:
+        return [Allocation(0, n_pages)]
+    used = sorted((a.start, a.length) for a in residents.values())
     free: list[Allocation] = []
     cursor = 0
-    for a in used:
-        if a.start > cursor:
-            free.append(Allocation(cursor, a.start - cursor))
-        cursor = a.start + a.length
+    for start, length in used:
+        if start > cursor:
+            free.append(Allocation(cursor, start - cursor))
+        cursor = start + length
     if cursor < n_pages:
         free.append(Allocation(cursor, n_pages - cursor))
     return free
@@ -98,13 +105,46 @@ def _free_segments(n_pages: int, residents: dict[int, Allocation]) -> list[Alloc
 class HalvingPolicy:
     """The paper's policy: take free pages if any, else halve the largest."""
 
+    # Optimization contracts the manager reads (see
+    # :func:`repro.core.runtime._declared_policy_flag` — a subclass that
+    # overrides admit/release without re-declaring them falls back to the
+    # safe defaults):
+    # whether this policy can admit a newcomer depends only on the resident
+    # map, never on who is asking (or their need) — the manager uses this to
+    # skip re-probing a saturated array until an allocation changes.
+    admit_failure_is_state_independent = True
+    # halving shrinks residents but never drops one from the map, so the
+    # manager can skip its per-decision eviction scan
+    evicts_residents = False
+
     def admit(self, n_pages, residents, tid, needs=None):
-        free = _free_segments(n_pages, residents)
-        if free:
-            seg = max(free, key=lambda a: a.length)
+        # inlined free-span scan on (start, length) tuples: this runs ~3x
+        # per simulated kernel invocation (request probe, drain admit,
+        # drain exit probe), so it never materialises Allocation objects
+        # for segments it does not grant
+        if residents:
+            best_start = best_len = 0
+            cursor = 0
+            widest = 1
+            spans = [(a.start, a.length) for a in residents.values()]
+            spans.sort()
+            for start, length in spans:
+                if start - cursor > best_len:
+                    best_start, best_len = cursor, start - cursor
+                cursor = start + length
+                if length > widest:
+                    widest = length
+            if n_pages - cursor > best_len:
+                best_start, best_len = cursor, n_pages - cursor
+        else:
+            best_start, best_len = 0, n_pages
+            widest = 1
+        if best_len:
             out = dict(residents)
-            out[tid] = seg
+            out[tid] = Allocation(best_start, best_len)
             return out
+        if widest <= 1:  # nothing splittable; skip building the victim list
+            return None
         victims = [t for t, a in residents.items() if a.length > 1]
         if not victims:
             return None
@@ -117,30 +157,40 @@ class HalvingPolicy:
         return out
 
     def release(self, n_pages, residents, tid, needs=None):
-        out = {t: a for t, a in residents.items() if t != tid}
-        freed = residents[tid]
-        if not out:
-            return out
         # expand an adjacent resident over the freed segment (smallest
-        # adjacent first, to even allocations out over time)
-        left = [
-            t for t, a in out.items() if a.start + a.length == freed.start
-        ]
-        right = [t for t, a in out.items() if a.start == freed.start + freed.length]
-        candidates = left + right
-        if not candidates:
+        # adjacent first by (length, tid), to even allocations out over
+        # time); one pass builds the survivor map and finds the winner
+        freed = residents[tid]
+        fs = freed.start
+        fe = fs + freed.length
+        out: dict[int, Allocation] = {}
+        grow = None
+        grow_key = None
+        grow_left = False
+        for t, a in residents.items():
+            if t == tid:
+                continue
+            out[t] = a
+            is_left = a.start + a.length == fs
+            if is_left or a.start == fe:
+                key = (a.length, t)
+                if grow_key is None or key < grow_key:
+                    grow, grow_key, grow_left = t, key, is_left
+        if grow is None:
             return out
-        grow = min(candidates, key=lambda t: (out[t].length, t))
         a = out[grow]
-        if grow in left:
+        if grow_left:
             out[grow] = Allocation(a.start, a.length + freed.length)
         else:
-            out[grow] = Allocation(freed.start, a.length + freed.length)
+            out[grow] = Allocation(fs, a.length + freed.length)
         return out
 
 
 class FairSharePolicy:
     """Equal split across residents, rebalanced on every change."""
+
+    admit_failure_is_state_independent = True
+    evicts_residents = False
 
     @staticmethod
     def _split(n_pages: int, tids: list[int]) -> dict[int, Allocation]:
@@ -171,6 +221,9 @@ class StaticEqualPolicy:
     CGRA is split into ``max_threads`` equal slices at 'compile time' and
     slices are never resized."""
 
+    admit_failure_is_state_independent = True
+    evicts_residents = False
+
     def __init__(self, max_threads: int) -> None:
         if max_threads < 1:
             raise ReproError(f"max_threads must be >= 1, got {max_threads}")
@@ -200,6 +253,82 @@ class StaticEqualPolicy:
         return {t: a for t, a in residents.items() if t != tid}
 
 
+class BestFitPolicy(HalvingPolicy):
+    """Halving, but free pages are granted best-fit against the newcomer's
+    declared need: the smallest free segment that covers the need wins and
+    is trimmed to it, leaving the surplus for the next arrival.  Without a
+    fitting segment (or without a declared need) the largest free segment
+    is granted whole; with no free pages at all it falls back to halving.
+    """
+
+    # re-declared because this class overrides admit: best-fit changes
+    # *which* pages a newcomer gets, but an admission fails exactly when
+    # plain halving's does (no free segment and nothing splittable), and
+    # residents are only ever shrunk, never dropped
+    admit_failure_is_state_independent = True
+    evicts_residents = False
+
+    def admit(self, n_pages, residents, tid, needs=None):
+        free = _free_segments(n_pages, residents)
+        if not free:
+            return super().admit(n_pages, residents, tid, needs)
+        need = needs.get(tid) if needs else None
+        if need:
+            fitting = [s for s in free if s.length >= need]
+            if fitting:
+                seg = min(fitting, key=lambda s: (s.length, s.start))
+                out = dict(residents)
+                out[tid] = Allocation(seg.start, need)
+                return out
+        seg = max(free, key=lambda s: (s.length, -s.start))
+        out = dict(residents)
+        out[tid] = seg
+        return out
+
+
+class PriorityEvictionPolicy(HalvingPolicy):
+    """Halving, but a full array evicts a lower-priority resident.
+
+    Priorities come from the *priorities* map (thread id -> priority,
+    higher wins — matching ``ThreadSpec.priority``); threads absent from
+    the map rank 0.  Without a map, priority defaults to ``-tid`` (earlier
+    threads outrank later ones), which makes evictions fire whenever an
+    early thread re-requests the CGRA for a later segment while the array
+    is full — the eviction path no stock policy exercises.
+
+    Eviction is restricted to *strictly* lower priorities so the manager's
+    re-admission drain terminates: priorities strictly decrease along any
+    eviction chain, and an evicted thread can never in turn evict its
+    evictor.
+    """
+
+    # admission success depends on the requester's priority, so the
+    # manager's saturated-array negative cache must not apply; and a
+    # successful admission may drop the victim from the map, so the
+    # manager must keep its eviction scan
+    admit_failure_is_state_independent = False
+    evicts_residents = True
+
+    def __init__(self, priorities: dict[int, int] | None = None) -> None:
+        self.priorities = priorities
+
+    def _prio(self, tid: int) -> int:
+        if self.priorities is None:
+            return -tid
+        return self.priorities.get(tid, 0)
+
+    def admit(self, n_pages, residents, tid, needs=None):
+        p = self._prio(tid)
+        victims = [t for t in residents if self._prio(t) < p]
+        if victims and not _free_segments(n_pages, residents):
+            # lowest priority loses its pages; ties broken by highest tid
+            victim = min(victims, key=lambda t: (self._prio(t), -t))
+            out = {t: a for t, a in residents.items() if t != victim}
+            out[tid] = residents[victim]
+            return out
+        return super().admit(n_pages, residents, tid, needs)
+
+
 class NeedAwareHalvingPolicy(HalvingPolicy):
     """Halving, but no thread is ever granted more pages than its kernel's
     need — the grant is trimmed and the surplus stays free for the next
@@ -208,6 +337,13 @@ class NeedAwareHalvingPolicy(HalvingPolicy):
 
     Falls back to plain halving when needs are unknown.
     """
+
+    # re-declared (not inherited) because this class overrides admit and
+    # release: trimming changes who gets how much, but an admission still
+    # fails exactly when plain halving's does, and trimmed residents are
+    # shrunk, never dropped
+    admit_failure_is_state_independent = True
+    evicts_residents = False
 
     def admit(self, n_pages, residents, tid, needs=None):
         out = super().admit(n_pages, residents, tid, needs)

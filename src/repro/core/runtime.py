@@ -22,6 +22,7 @@ at runtime, which is the paper's §III premise.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.policies import Allocation, AllocationPolicy, HalvingPolicy
@@ -35,6 +36,35 @@ __all__ = [
 ]
 
 
+def _declared_policy_flag(policy, flag: str, methods: tuple[str, ...]):
+    """Resolve an optimization flag a policy class declares about its own
+    behavior (``admit_failure_is_state_independent``, ``evicts_residents``).
+
+    The flag is only honored when it is declared at — or more derived
+    than — every class providing the methods it makes claims about: a
+    subclass that overrides ``admit`` without re-declaring the flag
+    silently loses the optimization instead of silently breaking the
+    manager's bookkeeping.  Returns the declared value, or ``None`` when
+    no trustworthy declaration exists (callers pick the safe default).
+    """
+    mro = type(policy).__mro__
+
+    def first(attr: str) -> int | None:
+        for i, klass in enumerate(mro):
+            if attr in klass.__dict__:
+                return i
+        return None
+
+    fi = first(flag)
+    if fi is None:
+        return None
+    for m in methods:
+        mi = first(m)
+        if mi is not None and mi < fi:
+            return None
+    return mro[fi].__dict__[flag]
+
+
 def check_allocation_map(
     n_pages: int, residents: dict[int, Allocation]
 ) -> None:
@@ -43,19 +73,28 @@ def check_allocation_map(
 
     Shared by :class:`CGRAManager` after every change and by the
     simulation oracle (:mod:`repro.sim.oracle`), which re-checks the map
-    at every recorded decision independently of the manager.
+    at every recorded decision independently of the manager.  Runs on
+    every manager decision of every simulated thread, so it works on
+    interval endpoints — O(k log k) in the resident count, never
+    materialising per-page sets.
     """
-    claimed: set[int] = set()
+    spans = []
     for t, a in residents.items():
-        pages = set(a.pages)
-        if pages & claimed:
-            raise ReproError(f"overlapping allocations at thread {t}")
-        if a.start + a.length > n_pages:
+        end = a.start + a.length
+        if end > n_pages:
             raise ReproError(f"allocation of thread {t} exceeds pool")
-        claimed |= pages
+        spans.append((a.start, end, t))
+    if len(spans) < 2:
+        return
+    spans.sort()
+    prev_end = spans[0][1]
+    for start, end, t in spans[1:]:
+        if start < prev_end:
+            raise ReproError(f"overlapping allocations at thread {t}")
+        prev_end = end
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reallocation:
     """One allocation change: a thread's page segment before/after."""
 
@@ -64,7 +103,7 @@ class Reallocation:
     after: Allocation | None
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadHandle:
     """A thread known to the manager."""
 
@@ -83,28 +122,57 @@ class CGRAManager:
 
     n_pages: int
     policy: AllocationPolicy = field(default_factory=HalvingPolicy)
+    # per-decision invariant checking; large-scale simulations may turn
+    # this off and rely on sampled oracle verification instead (the
+    # decisions themselves are identical either way)
+    validate: bool = True
 
     def __post_init__(self) -> None:
         if self.n_pages < 1:
             raise ReproError(f"n_pages must be >= 1, got {self.n_pages}")
         self.threads: dict[int, ThreadHandle] = {}
-        self.queue: list[int] = []
+        self._queue: deque[int] = deque()
+        # the resident map is maintained incrementally on every allocation
+        # change: at datacenter thread counts the manager tracks thousands
+        # of queued threads, and rebuilding the map by scanning them all
+        # on every decision made the simulator quadratic in thread count
+        self._residents: dict[int, Allocation] = {}
         self.needs: dict[int, int] = {}
+        # negative admission cache: when the policy's admission failures
+        # depend only on the resident map (all stock policies), one failed
+        # probe means every further probe fails until an allocation
+        # changes.  `_rev` counts allocation changes; `_admit_fail_rev`
+        # remembers the revision of the last failed probe.
+        neg = _declared_policy_flag(
+            self.policy, "admit_failure_is_state_independent", ("admit",)
+        )
+        self._neg_cache_ok = bool(neg)
+        # unknown policies get the safe default: assume they may evict
+        evicts = _declared_policy_flag(
+            self.policy, "evicts_residents", ("admit", "release")
+        )
+        self._policy_evicts = True if evicts is None else bool(evicts)
+        self._rev = 0
+        self._admit_fail_rev = -1
 
     # -- queries -------------------------------------------------------------------
 
     @property
+    def queue(self) -> list[int]:
+        """Queued thread ids in admission order (a snapshot copy)."""
+        return list(self._queue)
+
+    @property
     def residents(self) -> dict[int, Allocation]:
-        return {
-            t: h.allocation for t, h in self.threads.items() if h.allocation
-        }
+        return dict(self._residents)
 
     def allocation_of(self, tid: int) -> Allocation | None:
         h = self.threads.get(tid)
         return h.allocation if h else None
 
     def _check_invariants(self) -> None:
-        check_allocation_map(self.n_pages, self.residents)
+        if self.validate:
+            check_allocation_map(self.n_pages, self._residents)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -116,9 +184,15 @@ class CGRAManager:
         self.threads[tid] = ThreadHandle(tid)
         if need is not None:
             self.needs[tid] = need
-        new_map = self.policy.admit(self.n_pages, self.residents, tid, self.needs)
+        if self._neg_cache_ok and self._admit_fail_rev == self._rev:
+            new_map = None
+        else:
+            new_map = self.policy.admit(
+                self.n_pages, self._residents, tid, self.needs
+            )
         if new_map is None:
-            self.queue.append(tid)
+            self._admit_fail_rev = self._rev
+            self._queue.append(tid)
             return []
         events = self._apply(new_map)
         self._check_invariants()
@@ -131,22 +205,26 @@ class CGRAManager:
         if h is None:
             raise ReproError(f"thread {tid} unknown to the manager")
         if h.allocation is None:
-            self.queue.remove(tid)
+            self._queue.remove(tid)
             return []
-        residents = self.residents
-        residents[tid] = h.allocation  # policy sees the departing thread
-        new_map = self.policy.release(self.n_pages, residents, tid, self.needs)
+        # the policy sees the departing thread still resident; it must
+        # return a map without it
+        new_map = self.policy.release(self.n_pages, self._residents, tid, self.needs)
+        del self._residents[tid]
         self.needs.pop(tid, None)
         events = self._apply(new_map, departed=tid, before=h.allocation)
         # admit as many queued threads as now fit
-        while self.queue:
-            nxt = self.queue[0]
+        while self._queue:
+            nxt = self._queue[0]
+            if self._neg_cache_ok and self._admit_fail_rev == self._rev:
+                break
             new_map = self.policy.admit(
-                self.n_pages, self.residents, nxt, self.needs
+                self.n_pages, self._residents, nxt, self.needs
             )
             if new_map is None:
+                self._admit_fail_rev = self._rev
                 break
-            self.queue.pop(0)
+            self._queue.popleft()
             events.extend(self._apply(new_map))
         self._check_invariants()
         return events
@@ -159,21 +237,36 @@ class CGRAManager:
         departed: int | None = None,
         before: Allocation | None = None,
     ) -> list[Reallocation]:
+        self._rev += 1
+        threads = self.threads
+        residents = self._residents
         events: list[Reallocation] = []
         if departed is not None:
             events.append(Reallocation(departed, before, None))
         for tid, alloc in new_map.items():
             if tid == departed:
                 continue
-            h = self.threads[tid]
-            if h.allocation != alloc:
-                events.append(Reallocation(tid, h.allocation, alloc))
+            h = threads[tid]
+            # field compare, not dataclass __eq__ — this is the hottest
+            # comparison of the whole simulation loop
+            old = h.allocation
+            if old is None or old.start != alloc.start or old.length != alloc.length:
+                events.append(Reallocation(tid, old, alloc))
                 h.allocation = alloc
                 h.reallocations += 1
-        for tid, h in self.threads.items():
-            if h.allocation is not None and tid not in new_map and tid != departed:
-                # policy dropped a resident: treat as eviction back to queue
-                events.append(Reallocation(tid, h.allocation, None))
-                h.allocation = None
-                self.queue.append(tid)
+                residents[tid] = alloc
+        if not self._policy_evicts:
+            return events
+        # scan the (bounded) resident map, never the full thread table —
+        # queued threads cannot be evicted and vastly outnumber residents
+        # under heavy traffic
+        for tid in [t for t in self._residents if t not in new_map]:
+            if tid == departed:
+                continue
+            # policy dropped a resident: treat as eviction back to queue
+            h = self.threads[tid]
+            events.append(Reallocation(tid, h.allocation, None))
+            h.allocation = None
+            del self._residents[tid]
+            self._queue.append(tid)
         return events

@@ -1,8 +1,8 @@
 """Deterministic workload fuzzer for the simulation oracle.
 
 Sweeps a seeded lattice of :func:`~repro.sim.workload.generate_workload`
-configurations — all four stock allocation policies plus a deliberately
-eviction-happy one, staggered and simultaneous arrivals, reconfiguration
+configurations — all five non-evicting stock allocation policies plus the
+eviction-happy priority one, staggered and simultaneous arrivals, reconfiguration
 overhead on/off, iteration-boundary switching on/off — and pushes every
 case through :func:`~repro.sim.oracle.verify_system` in **both** modes:
 the event-driven simulator must agree bit-for-bit with the cycle-quantum
@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.policies import (
+    BestFitPolicy,
     FairSharePolicy,
     HalvingPolicy,
     NeedAwareHalvingPolicy,
+    PriorityEvictionPolicy,
     StaticEqualPolicy,
-    _free_segments,
 )
 from repro.sim.oracle import OracleResult, verify_system
 from repro.sim.system import KernelProfile, SystemConfig, SystemResult
@@ -55,30 +56,6 @@ FUZZ_PROFILES: dict[str, KernelProfile] = {
 _NOMINAL_II = {name: p.ii_base for name, p in FUZZ_PROFILES.items()}
 
 
-class PriorityEvictionPolicy(HalvingPolicy):
-    """Halving, but a full array evicts a lower-priority resident.
-
-    Priority is the thread id, lower wins: when no pages are free and a
-    resident with a *higher* tid exists, the newcomer takes over that
-    victim's pages mid-kernel and the victim goes back to the queue.  Since
-    tids are assigned in arrival order this fires when an early thread
-    re-requests the CGRA for a later segment while the array is full — the
-    eviction path no stock policy exercises.  Eviction is restricted to
-    strictly higher tids so the manager's re-admission drain terminates:
-    every hand-off replaces a queued tid with a strictly larger one, and
-    an evicted thread can never in turn evict its evictor.
-    """
-
-    def admit(self, n_pages, residents, tid, needs=None):
-        victims = [t for t in residents if t > tid]
-        if victims and not _free_segments(n_pages, residents):
-            victim = max(victims)  # lowest priority loses its pages
-            out = {t: a for t, a in residents.items() if t != victim}
-            out[tid] = residents[victim]
-            return out
-        return super().admit(n_pages, residents, tid, needs)
-
-
 def _make_policy(name: str):
     if name == "halving":
         return HalvingPolicy()
@@ -88,12 +65,22 @@ def _make_policy(name: str):
         return FairSharePolicy()
     if name == "static-equal":
         return StaticEqualPolicy(max_threads=4)
+    if name == "best-fit":
+        return BestFitPolicy()
     if name == "evicting":
+        # no priorities map: tid-based default, lower tid outranks higher
         return PriorityEvictionPolicy()
     raise ValueError(f"unknown fuzz policy {name!r}")
 
 
-_POLICIES = ("halving", "need-aware", "fair-share", "static-equal", "evicting")
+_POLICIES = (
+    "halving",
+    "need-aware",
+    "fair-share",
+    "static-equal",
+    "best-fit",
+    "evicting",
+)
 _OVERHEADS = (0, 3)
 _BOUNDARY = (False, True)
 _GAPS = (0, 40)

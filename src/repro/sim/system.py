@@ -15,18 +15,30 @@ Implements the paper's §VII-B evaluation system in two modes:
 
 Every thread runs on its own core (the host is a multithreaded processor),
 so CPU segments always progress; only the accelerator is contended.  Time
-is tracked with exact fractions, so results are deterministic and
-platform-independent.
+is tracked exactly, so results are deterministic and platform-independent.
+
+Exactness does not require :class:`~fractions.Fraction` objects
+everywhere: CPU cycles, arrivals and overheads are integers, and most
+initiation intervals in play are too, so the engine runs on plain machine
+ints (the *fast lane*, 1-2 orders of magnitude cheaper per event) and
+falls back to ``Fraction`` per value only when a division does not come
+out even — a fractional steady-state II of a PageMaster shrink, or a
+partial iteration left by a mid-kernel reshape.  The two lanes are
+numerically identical (``Fraction(n) == n``), which the cycle-quantum
+oracle (:mod:`repro.sim.oracle`) re-proves on every verified run.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping
+
+import numpy as np
 
 from repro.core.pagemaster import steady_state_ii
 from repro.core.policies import Allocation, AllocationPolicy, HalvingPolicy
@@ -41,6 +53,36 @@ __all__ = [
     "improvement",
     "simulate_system",
 ]
+
+
+# -- exact two-lane arithmetic ----------------------------------------------------
+#
+# Values are `int` while they can be, `Fraction` once they must be.  All
+# helpers are exact; `Fraction` never loses information and an integral
+# `Fraction` is collapsed back into the int lane so one fractional rate
+# does not poison every later event of the run.
+
+
+def _norm(x):
+    """Collapse an integral Fraction back into the int fast lane."""
+    if x.__class__ is Fraction and x.denominator == 1:
+        return x.numerator
+    return x
+
+
+def _div(a, b):
+    """Exact ``a / b``: int when the division comes out even."""
+    if a.__class__ is int and b.__class__ is int:
+        q, r = divmod(a, b)
+        return q if r == 0 else Fraction(a, b)
+    return _norm(a / b)
+
+
+def _mul(a, b):
+    """Exact ``a * b``: stays in the int lane when both operands are."""
+    if a.__class__ is int and b.__class__ is int:
+        return a * b
+    return _norm(a * b)
 
 
 @dataclass(frozen=True)
@@ -125,6 +167,10 @@ class SystemConfig:
     # in-flight kernel iteration at the old rate before the new allocation
     # takes effect
     switch_at_iteration_boundary: bool = False
+    # per-decision allocation-map validation in the CGRAManager; scale
+    # benches turn this off and sample whole runs through the oracle
+    # instead (decisions and results are identical either way)
+    validate_decisions: bool = True
 
     def __post_init__(self) -> None:
         if self.n_pages < 1:
@@ -146,6 +192,7 @@ class SystemResult:
     kernel_invocations: int = 0
     wait_cycles: float = 0.0  # total time threads spent queued for the CGRA
     arrivals: dict[int, float] = field(default_factory=dict)
+    evictions: int = 0  # residents pushed back to the queue mid-kernel
 
     @property
     def cgra_utilization(self) -> float:
@@ -165,6 +212,60 @@ class SystemResult:
             for tid, finish in self.finish_times.items()
         ) / len(self.finish_times)
 
+    # -- SLO-style metrics ---------------------------------------------------------
+
+    def _turnarounds(self) -> np.ndarray:
+        return np.sort(
+            np.array(
+                [
+                    finish - self.arrivals.get(tid, 0.0)
+                    for tid, finish in self.finish_times.items()
+                ]
+            )
+        )
+
+    def turnaround_percentile(self, p: float) -> float:
+        """Nearest-rank percentile of per-thread turnaround (p in [0,100]);
+        deterministic — no interpolation, so the value is always one a
+        thread actually experienced."""
+        if not 0 <= p <= 100:
+            raise SimulationError(f"percentile must be in [0,100], got {p}")
+        if not self.finish_times:
+            return 0.0
+        vals = self._turnarounds()
+        rank = max(0, math.ceil(p / 100 * len(vals)) - 1)
+        return float(vals[rank])
+
+    @property
+    def turnaround_p50(self) -> float:
+        return self.turnaround_percentile(50)
+
+    @property
+    def turnaround_p99(self) -> float:
+        return self.turnaround_percentile(99)
+
+    @property
+    def eviction_churn(self) -> float:
+        """Evictions per kernel invocation — how often the policy yanked
+        pages from a running kernel, normalised by offered load."""
+        if self.kernel_invocations <= 0:
+            return 0.0
+        return self.evictions / self.kernel_invocations
+
+    def slo_summary(self) -> dict:
+        """The SLO metrics the policy tournament reports, as one record."""
+        return {
+            "makespan": self.makespan,
+            "avg_turnaround": self.avg_turnaround,
+            "turnaround_p50": self.turnaround_p50,
+            "turnaround_p99": self.turnaround_p99,
+            "cgra_utilization": self.cgra_utilization,
+            "wait_cycles": self.wait_cycles,
+            "reallocations": self.reallocations,
+            "evictions": self.evictions,
+            "eviction_churn": self.eviction_churn,
+        }
+
 
 def improvement(base: SystemResult, other: SystemResult) -> float:
     """Fractional performance improvement of *other* vs *base* (makespan)."""
@@ -178,18 +279,20 @@ def improvement(base: SystemResult, other: SystemResult) -> float:
     return base.makespan / other.makespan - 1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ThreadState:
+    # time/iteration fields are `int | Fraction`: the int fast lane with
+    # exact Fraction fallback (see the module docstring)
     spec: ThreadSpec
     seg_idx: int = 0
     version: int = 0
     # active CGRA kernel bookkeeping
-    iterations_left: Fraction = Fraction(0)
-    rate: Fraction = Fraction(1)  # cycles per iteration
-    last_update: Fraction = Fraction(0)
-    stall_until: Fraction = Fraction(0)
-    queued_since: Fraction | None = None
-    finished: Fraction | None = None
+    iterations_left: int | Fraction = 0
+    rate: int | Fraction = 1  # cycles per iteration
+    last_update: int | Fraction = 0
+    stall_until: int | Fraction = 0
+    queued_since: int | Fraction | None = None
+    finished: int | Fraction | None = None
 
 
 class _SystemSim:
@@ -201,18 +304,26 @@ class _SystemSim:
         self.threads = {t.tid: _ThreadState(t) for t in workload}
         self.events: list = []
         self.counter = itertools.count()
-        self.manager = CGRAManager(config.n_pages, config.policy)
+        self.manager = CGRAManager(
+            config.n_pages, config.policy, validate=config.validate_decisions
+        )
         self.single_running: int | None = None
         # FIFO of threads waiting for the whole-array CGRA; deque so the
         # dequeue is O(1) instead of list.pop(0)'s O(n) shift
         self.single_queue: deque[int] = deque()
         self.timeline = None
         self.decisions = None  # optional repro.sim.trace.DecisionTrace
-        self.busy_page_cycles = Fraction(0)
-        # accumulated exactly; converted to float once at the end (the
-        # module promise is exact-Fraction determinism — a float running
-        # sum would make wait_cycles depend on accumulation order)
-        self.wait_cycles = Fraction(0)
+        # initiation intervals per (kernel, allocation size), resolved
+        # once: the integral-config detection of the fast lane — an
+        # integral II enters the run as an int, a fractional steady-state
+        # II as the exact Fraction, and no Fraction is ever constructed
+        # per event for either
+        self._rates: dict[tuple[str, int], int | Fraction] = {}
+        # accumulated exactly; converted to float once at the end (a
+        # float running sum would make the totals depend on accumulation
+        # order)
+        self.busy_page_cycles: int | Fraction = 0
+        self.wait_cycles: int | Fraction = 0
         self.result = SystemResult(
             mode=mode,
             makespan=0.0,
@@ -245,22 +356,29 @@ class _SystemSim:
         except KeyError:
             raise SimulationError(f"no profile for kernel {kernel!r}") from None
 
-    def _ii_eff(self, kernel: str, m: int) -> Fraction:
+    def _ii_eff(self, kernel: str, m: int) -> int | Fraction:
         """Initiation interval of *kernel* on an *m*-page allocation.
 
         An allocation at least as large as the kernel's page need runs the
         compiled schedule untransformed ("no transformation needs to be
         performed", §VII-B); smaller allocations run the PageMaster-shrunk
-        schedule at its exact steady-state II.
+        schedule at its exact steady-state II.  Memoised per (kernel, m)
+        with integral IIs normalised into the int fast lane.
         """
-        prof = self._profile(kernel)
-        if self.mode == "single":
-            return Fraction(prof.ii_base)
-        if m >= prof.pages_used:
-            return Fraction(prof.ii_paged)
-        return prof.best_steady_ii_upto(m)
+        key = (kernel, m)
+        rate = self._rates.get(key)
+        if rate is None:
+            prof = self._profile(kernel)
+            if self.mode == "single":
+                rate = prof.ii_base
+            elif m >= prof.pages_used:
+                rate = prof.ii_paged
+            else:
+                rate = _norm(prof.best_steady_ii_upto(m))
+            self._rates[key] = rate
+        return rate
 
-    def _push(self, time: Fraction, kind: str, tid: int) -> None:
+    def _push(self, time, kind: str, tid: int) -> None:
         st = self.threads[tid]
         heapq.heappush(
             self.events, (time, next(self.counter), st.version, kind, tid)
@@ -268,8 +386,9 @@ class _SystemSim:
 
     # -- thread progression ----------------------------------------------------------
 
-    def _start_segment(self, tid: int, now: Fraction) -> None:
-        st = self.threads[tid]
+    def _start_segment(self, tid: int, now, st: "_ThreadState | None" = None) -> None:
+        if st is None:
+            st = self.threads[tid]
         if st.seg_idx >= len(st.spec.segments):
             st.finished = now
             self.result.finish_times[tid] = float(now)
@@ -299,7 +418,7 @@ class _SystemSim:
                 self.timeline.record(now, "queued", tid, seg.kernel)
             self._record_decision(now, "request", tid, [])
 
-    def _single_start(self, tid: int, now: Fraction) -> Reallocation:
+    def _single_start(self, tid: int, now) -> Reallocation:
         st = self.threads[tid]
         if st.queued_since is not None:
             self.wait_cycles += now - st.queued_since
@@ -315,37 +434,43 @@ class _SystemSim:
                 f"{seg.kernel} x{seg.trip} on {full.length} pages",
                 alloc=(full.start, full.length),
             )
-        dur = Fraction(seg.trip) * self._ii_eff(seg.kernel, self.config.n_pages)
-        self.busy_page_cycles += dur * self.config.n_pages
+        dur = _mul(seg.trip, self._ii_eff(seg.kernel, self.config.n_pages))
+        self.busy_page_cycles += _mul(dur, self.config.n_pages)
         self._push(now + dur, "kernel_done", tid)
         return Reallocation(tid, None, full)
 
     # multithreaded CGRA ---------------------------------------------------------------
 
-    def _mt_request(self, tid: int, now: Fraction) -> None:
+    def _mt_request(self, tid: int, now) -> None:
         st = self.threads[tid]
         seg = st.spec.segments[st.seg_idx]
-        st.iterations_left = Fraction(seg.trip)
+        st.iterations_left = seg.trip
         st.last_update = now
         st.queued_since = now
         events = self.manager.request(
             tid, need=self._profile(seg.kernel).pages_used
         )
-        self._record_decision(now, "request", tid, events)
+        if self.decisions is not None:
+            self._record_decision(now, "request", tid, events)
         self._apply_reallocations(events, now)
-        if self.manager.allocation_of(tid) is None:
+        if self.manager.threads[tid].allocation is None:
             if self.timeline is not None:
                 self.timeline.record(now, "queued", tid, seg.kernel)
             return  # queued; woken by a future release
         if st.queued_since is not None:  # not already activated by the events
-            self._mt_activate(tid, now)
+            self._mt_activate(tid, now, self.manager.threads[tid].allocation)
 
-    def _mt_activate(self, tid: int, now: Fraction) -> None:
+    def _mt_activate(self, tid: int, now, alloc: Allocation) -> None:
+        # `alloc` is the allocation of the admission *event*, not the
+        # manager's current one: within one decision batch a thread can be
+        # admitted and immediately reshaped (eviction hand-off followed by
+        # the queue drain), and the manager's table already holds the
+        # final allocation — billing the admission at it would run the
+        # in-flight iteration at a rate the thread never had
         st = self.threads[tid]
         if st.queued_since is not None:
             self.wait_cycles += now - st.queued_since
             st.queued_since = None
-        alloc = self.manager.allocation_of(tid)
         seg = st.spec.segments[st.seg_idx]
         if self.timeline is not None:
             self.timeline.record(
@@ -359,58 +484,90 @@ class _SystemSim:
         st.last_update = now
         self._schedule_completion(tid, now)
 
-    def _schedule_completion(self, tid: int, now: Fraction) -> None:
+    def _schedule_completion(self, tid: int, now) -> None:
+        # the single hottest scheduling call: every reallocation of a
+        # running kernel lands here, so the int lane and the heap push are
+        # inlined rather than routed through max()/_mul()/_push()
         st = self.threads[tid]
         st.version += 1
-        done = max(now, st.stall_until) + st.iterations_left * st.rate
-        self._push(done, "kernel_done", tid)
+        su = st.stall_until
+        base = now if now >= su else su
+        il = st.iterations_left
+        r = st.rate
+        dur = il * r if il.__class__ is int and r.__class__ is int else _mul(il, r)
+        heapq.heappush(
+            self.events,
+            (base + dur, next(self.counter), st.version, "kernel_done", tid),
+        )
 
-    def _progress(self, tid: int, now: Fraction) -> None:
+    def _progress(self, tid: int, now) -> None:
         """Advance a running kernel's iteration count to *now*."""
         st = self.threads[tid]
-        alloc = self.manager.allocation_of(tid)
+        h = self.manager.threads.get(tid)
+        alloc = h.allocation if h is not None else None
         if alloc is None:
             return
-        start = max(st.last_update, st.stall_until)
+        lu = st.last_update
+        su = st.stall_until
+        start = lu if lu >= su else su
         if now > start and st.rate > 0:
-            advanced = (now - start) / st.rate
-            st.iterations_left = max(Fraction(0), st.iterations_left - advanced)
-            self.busy_page_cycles += (now - start) * alloc.length
+            advanced = _div(now - start, st.rate)
+            left = st.iterations_left - advanced
+            st.iterations_left = left if left > 0 else 0
+            self.busy_page_cycles += _mul(now - start, alloc.length)
         st.last_update = now
 
-    def _apply_reallocations(self, events, now: Fraction) -> None:
+    def _apply_reallocations(self, events, now) -> None:
         """Reshape running threads after manager events: bill progress at
         the old rate up to *now*, charge the reconfiguration stall, and
         reschedule their completions at the new rate."""
+        threads = self.threads
+        timeline = self.timeline
+        boundary = self.config.switch_at_iteration_boundary
+        overhead = self.config.reconfig_overhead
+        rates = self._rates
+        heap = self.events
+        counter = self.counter
+        heappush = heapq.heappush
         for ev in events:
-            st = self.threads.get(ev.tid)
-            if st is None or st.finished is not None:
+            # every simulated thread stays in the state table for the whole
+            # run, so this lookup cannot miss
+            st = threads[ev.tid]
+            if st.finished is not None:
                 continue
-            if self.timeline is not None and ev.before and ev.after:
-                self.timeline.record(
+            if timeline is not None and ev.before and ev.after:
+                timeline.record(
                     now,
                     "realloc",
                     ev.tid,
                     f"{ev.before.length} -> {ev.after.length} pages",
                     alloc=(ev.after.start, ev.after.length),
                 )
-            seg = (
-                st.spec.segments[st.seg_idx]
-                if st.seg_idx < len(st.spec.segments)
-                else None
-            )
+            segments = st.spec.segments
+            seg = segments[st.seg_idx] if st.seg_idx < len(segments) else None
             if seg is None or seg.kind != "cgra":
                 continue
             if ev.before is not None:
-                # it was running: bill progress at the old allocation first
-                old_alloc_len = ev.before.length
-                start = max(st.last_update, st.stall_until)
+                # it was running: bill progress at the old allocation
+                # first (int lane inlined — this block runs per
+                # reallocation event of every running kernel)
+                lu = st.last_update
+                su = st.stall_until
+                start = lu if lu >= su else su
                 if now > start and st.rate > 0:
-                    advanced = (now - start) / st.rate
-                    st.iterations_left = max(
-                        Fraction(0), st.iterations_left - advanced
+                    delta = now - start
+                    r = st.rate
+                    advanced = (
+                        _div(delta, r)
+                        if delta.__class__ is not int or r.__class__ is not int
+                        else delta // r if delta % r == 0 else Fraction(delta, r)
                     )
-                    self.busy_page_cycles += (now - start) * old_alloc_len
+                    left = st.iterations_left - advanced
+                    st.iterations_left = left if left > 0 else 0
+                    bl = ev.before.length
+                    self.busy_page_cycles += (
+                        delta * bl if delta.__class__ is int else _mul(delta, bl)
+                    )
                 st.last_update = now
             if ev.after is None:
                 # eviction back to the manager's queue (callers filter the
@@ -422,61 +579,100 @@ class _SystemSim:
                 # through _mt_activate with its remaining iterations
                 st.version += 1
                 st.queued_since = now
-                if self.timeline is not None:
-                    self.timeline.record(now, "queued", ev.tid, seg.kernel)
+                self.result.evictions += 1
+                if timeline is not None:
+                    timeline.record(now, "queued", ev.tid, seg.kernel)
                 continue
-            if (
-                ev.before is not None
-                and self.config.switch_at_iteration_boundary
-                and st.iterations_left > 0
-            ):
+            if ev.before is not None and boundary and st.iterations_left > 0:
                 # finish the in-flight iteration at the old rate before
                 # the transformed schedule takes over; the drain occupies
                 # the pages the thread holds *now* (its old segment may
                 # already belong to the thread that forced this reshape)
-                whole = st.iterations_left.__floor__()
+                whole = math.floor(st.iterations_left)
                 frac = st.iterations_left - whole
                 if frac > 0:
-                    st.stall_until = max(st.stall_until, now) + frac * st.rate
-                    st.iterations_left = Fraction(whole)
-                    self.busy_page_cycles += frac * st.rate * ev.after.length
-            st.rate = self._ii_eff(seg.kernel, ev.after.length)
-            if ev.before is not None and self.config.reconfig_overhead:
+                    drain = _mul(frac, st.rate)
+                    st.stall_until = max(st.stall_until, now) + drain
+                    st.iterations_left = whole
+                    self.busy_page_cycles += _mul(drain, ev.after.length)
+            rate = rates.get((seg.kernel, ev.after.length))
+            st.rate = (
+                rate
+                if rate is not None
+                else self._ii_eff(seg.kernel, ev.after.length)
+            )
+            if ev.before is not None and overhead:
                 # the overhead overlaps an iteration-boundary drain: take
                 # the later of the two stalls, never overwrite (a plain
                 # assignment clobbered the boundary stall and double-ran
                 # the already-billed drain window)
-                st.stall_until = max(
-                    st.stall_until, now + self.config.reconfig_overhead
-                )
+                stalled = now + overhead
+                if stalled > st.stall_until:
+                    st.stall_until = stalled
             if st.queued_since is not None:
-                self._mt_activate(ev.tid, now)
+                self._mt_activate(ev.tid, now, ev.after)
             else:
-                self._schedule_completion(ev.tid, now)
+                # _schedule_completion, inlined for the hottest caller
+                st.version += 1
+                su = st.stall_until
+                base = now if now >= su else su
+                il = st.iterations_left
+                r = st.rate
+                dur = (
+                    il * r
+                    if il.__class__ is int and r.__class__ is int
+                    else _mul(il, r)
+                )
+                heappush(
+                    heap,
+                    (base + dur, next(counter), st.version, "kernel_done", ev.tid),
+                )
 
     # -- event loop -------------------------------------------------------------------
 
     def run(self) -> SystemResult:
-        now = Fraction(0)
-        for tid, st in self.threads.items():
-            arrival = st.spec.arrival
-            if arrival <= 0:
+        now = 0
+        # batched arrival wheel: all arrivals are sorted up front (numpy,
+        # stable so simultaneous arrivals keep workload order — the same
+        # order init-time heap pushes gave them) and fed to the loop from
+        # a cursor; the heap holds only live completion events, not one
+        # entry per not-yet-arrived thread
+        tids = list(self.threads)
+        order = np.argsort(
+            np.array([self.threads[t].spec.arrival for t in tids]),
+            kind="stable",
+        )
+        wheel = [
+            (self.threads[tids[i]].spec.arrival, tids[i]) for i in order
+        ]
+        ai = 0
+        while ai < len(wheel) and wheel[ai][0] <= 0:
+            self._start_segment(wheel[ai][1], now)
+            ai += 1
+        heap = self.events
+        threads = self.threads
+        heappop = heapq.heappop
+        n_arrivals = len(wheel)
+        single = self.mode == "single"
+        while heap or ai < n_arrivals:
+            # arrivals precede heap events at the same instant, matching
+            # the arrival-events-pushed-first order of the unbatched loop
+            if ai < n_arrivals and (not heap or wheel[ai][0] <= heap[0][0]):
+                now = wheel[ai][0]
+                tid = wheel[ai][1]
+                ai += 1
                 self._start_segment(tid, now)
-            else:
-                self._push(Fraction(arrival), "arrive", tid)
-        while self.events:
-            time, _, version, kind, tid = heapq.heappop(self.events)
-            st = self.threads[tid]
+                continue
+            time, _, version, kind, tid = heappop(heap)
+            st = threads[tid]
             if kind == "kernel_done" and version != st.version:
                 continue  # stale completion, superseded by a reallocation
             now = time
-            if kind == "arrive":
-                self._start_segment(tid, now)
-            elif kind == "cpu_done":
+            if kind == "cpu_done":
                 st.seg_idx += 1
-                self._start_segment(tid, now)
+                self._start_segment(tid, now, st)
             elif kind == "kernel_done":
-                if self.mode == "single":
+                if single:
                     full = Allocation(0, self.config.n_pages)
                     self.single_running = None
                     if self.timeline is not None:
@@ -499,15 +695,19 @@ class _SystemSim:
                         self._schedule_completion(tid, now)
                         continue
                     events = self.manager.release(tid)
-                    self._record_decision(now, "release", tid, events)
-                    self.result.reallocations += sum(
-                        1 for e in events if e.tid != tid and e.after is not None
-                    )
+                    if self.decisions is not None:
+                        self._record_decision(now, "release", tid, events)
+                    others = []
+                    reallocs = 0
+                    for e in events:
+                        if e.tid != tid:
+                            others.append(e)
+                            if e.after is not None:
+                                reallocs += 1
+                    self.result.reallocations += reallocs
                     st.seg_idx += 1
-                    self._apply_reallocations(
-                        [e for e in events if e.tid != tid], now
-                    )
-                    self._start_segment(tid, now)
+                    self._apply_reallocations(others, now)
+                    self._start_segment(tid, now, st)
             else:
                 raise SimulationError(f"unknown event kind {kind!r}")
         unfinished = [t for t, s in self.threads.items() if s.finished is None]

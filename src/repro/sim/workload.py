@@ -15,13 +15,24 @@ where a kernel's nominal time is ``trip x II`` on the full array.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro.util.errors import WorkloadError
 from repro.util.rng import make_rng
 
-__all__ = ["Segment", "ThreadSpec", "generate_workload"]
+__all__ = [
+    "Segment",
+    "ThreadSpec",
+    "PriorityClass",
+    "DEFAULT_CLASSES",
+    "ARRIVAL_MODELS",
+    "generate_workload",
+    "generate_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +65,9 @@ class ThreadSpec:
     tid: int
     segments: tuple[Segment, ...]
     arrival: int = 0
+    # scheduling class of the thread (0 = lowest); only priority-aware
+    # allocation policies read it, everything else ignores it
+    priority: int = 0
 
     def cgra_fraction(self, nominal_ii: dict[str, int]) -> float:
         """Fraction of nominal time spent on the CGRA."""
@@ -102,20 +116,204 @@ def generate_workload(
         if mean_arrival_gap > 0 and tid > 0:
             arrival += int(rng.exponential(mean_arrival_gap))
         total = mean_total_work * (1.0 + jitter * (2 * rng.random() - 1.0))
-        cgra_work = total * cgra_need
-        cpu_work = total - cgra_work
-        # random phase weights, one pair per phase
-        w_cpu = rng.random(phases_per_thread) + 0.2
-        w_acc = rng.random(phases_per_thread) + 0.2
-        w_cpu /= w_cpu.sum()
-        w_acc /= w_acc.sum()
-        segments: list[Segment] = []
-        for p in range(phases_per_thread):
-            cpu_cycles = max(1, int(round(cpu_work * w_cpu[p])))
-            segments.append(Segment("cpu", cycles=cpu_cycles))
-            kernel = kernels[int(rng.integers(len(kernels)))]
-            ii = nominal_ii[kernel]
-            trip = max(1, int(round(cgra_work * w_acc[p] / ii)))
-            segments.append(Segment("cgra", kernel=kernel, trip=trip))
-        threads.append(ThreadSpec(tid, tuple(segments), arrival))
+        segments = _phase_segments(
+            rng, total, cgra_need, kernels, nominal_ii, phases_per_thread
+        )
+        threads.append(ThreadSpec(tid, segments, arrival))
+    return threads
+
+
+def _phase_segments(
+    rng,
+    total: float,
+    cgra_need: float,
+    kernels: Sequence[str],
+    nominal_ii: dict[str, int],
+    phases: int,
+) -> tuple[Segment, ...]:
+    """Split *total* nominal work into (CPU, CGRA) phase pairs.
+
+    The draw order is part of the determinism contract: recorded bench
+    baselines replay byte-identically as long as this consumes the rng in
+    the same sequence.
+    """
+    cgra_work = total * cgra_need
+    cpu_work = total - cgra_work
+    # random phase weights, one pair per phase
+    w_cpu = rng.random(phases) + 0.2
+    w_acc = rng.random(phases) + 0.2
+    w_cpu /= w_cpu.sum()
+    w_acc /= w_acc.sum()
+    segments: list[Segment] = []
+    for p in range(phases):
+        cpu_cycles = max(1, int(round(cpu_work * w_cpu[p])))
+        segments.append(Segment("cpu", cycles=cpu_cycles))
+        kernel = kernels[int(rng.integers(len(kernels)))]
+        ii = nominal_ii[kernel]
+        trip = max(1, int(round(cgra_work * w_acc[p] / ii)))
+        segments.append(Segment("cgra", kernel=kernel, trip=trip))
+    return tuple(segments)
+
+
+# -- trace-driven generation ------------------------------------------------------
+#
+# Datacenter-style load is not "N identical threads at t=0": requests come
+# in bursts, follow daily load curves, and carry different service classes.
+# `generate_trace` models all three while staying seeded and deterministic
+# — the same (seed, parameters) pair always produces the identical trace,
+# which is what lets policy tournaments and recorded bench trajectories be
+# replayed bit-for-bit.
+
+
+@dataclass(frozen=True)
+class PriorityClass:
+    """One service class of a trace.
+
+    ``weight`` is the relative share of threads drawn from this class,
+    ``priority`` the scheduling priority (higher wins; only priority-aware
+    policies look at it), ``work_scale`` scales the class's mean thread
+    length, and ``phases`` its number of (CPU, CGRA) phase pairs.
+    """
+
+    name: str
+    weight: float
+    priority: int
+    work_scale: float = 1.0
+    phases: int = 4
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"class {self.name}: weight must be > 0")
+        if self.work_scale <= 0:
+            raise WorkloadError(f"class {self.name}: work_scale must be > 0")
+        if self.phases < 1:
+            raise WorkloadError(f"class {self.name}: phases must be >= 1")
+
+
+#: batch jobs dominate thread count; interactive and realtime threads are
+#: shorter but jump the page queue under priority-aware policies
+DEFAULT_CLASSES: tuple[PriorityClass, ...] = (
+    PriorityClass("batch", weight=0.6, priority=0, work_scale=1.0, phases=6),
+    PriorityClass("interactive", weight=0.3, priority=1, work_scale=0.4, phases=4),
+    PriorityClass("realtime", weight=0.1, priority=2, work_scale=0.15, phases=2),
+)
+
+ARRIVAL_MODELS = ("all-at-once", "poisson", "bursty", "diurnal")
+
+
+def _arrival_times(
+    rng,
+    n: int,
+    model: str,
+    mean_gap: float,
+    burst_size: int,
+    diurnal_period: int,
+    diurnal_amplitude: float,
+) -> np.ndarray:
+    """Nondecreasing integer arrival times for *n* threads (first at 0)."""
+    if model == "all-at-once" or mean_gap <= 0:
+        return np.zeros(n, dtype=np.int64)
+    if model == "poisson":
+        gaps = rng.exponential(mean_gap, size=n).astype(np.int64)
+        gaps[0] = 0
+        return np.cumsum(gaps)
+    if model == "bursty":
+        # bursts of ~burst_size threads arrive together; gaps between
+        # bursts stretched so the long-run arrival rate matches poisson's
+        sizes = 1 + rng.poisson(burst_size - 1, size=n)
+        n_bursts = int(np.searchsorted(np.cumsum(sizes), n) + 1)
+        gaps = rng.exponential(mean_gap * burst_size, size=n_bursts).astype(
+            np.int64
+        )
+        gaps[0] = 0
+        starts = np.cumsum(gaps)
+        return np.repeat(starts, sizes[:n_bursts])[:n]
+    if model == "diurnal":
+        # a Poisson process with sinusoidally modulated intensity: the
+        # "day" peaks at 1 + amplitude times the base rate and bottoms
+        # out at 1 - amplitude (floored, so the trough never stalls)
+        draws = rng.exponential(mean_gap, size=n)
+        out = np.empty(n, dtype=np.int64)
+        out[0] = 0
+        t = 0.0
+        two_pi = 2.0 * math.pi
+        for i in range(1, n):
+            lam = 1.0 + diurnal_amplitude * math.sin(two_pi * t / diurnal_period)
+            t += draws[i] / max(lam, 0.05)
+            out[i] = int(t)
+        return out
+    raise WorkloadError(
+        f"unknown arrival model {model!r}; expected one of {ARRIVAL_MODELS}"
+    )
+
+
+def generate_trace(
+    n_threads: int,
+    cgra_need: float,
+    kernels: Sequence[str],
+    nominal_ii: dict[str, int],
+    *,
+    seed: int = 0,
+    arrival_model: str = "poisson",
+    mean_arrival_gap: float = 20.0,
+    burst_size: int = 8,
+    diurnal_period: int = 50_000,
+    diurnal_amplitude: float = 0.8,
+    classes: Sequence[PriorityClass] = DEFAULT_CLASSES,
+    mean_total_work: int = 2_000,
+    jitter: float = 0.25,
+) -> list[ThreadSpec]:
+    """Generate a datacenter-style arrival trace of *n_threads* threads.
+
+    Arrivals follow *arrival_model* (see :data:`ARRIVAL_MODELS`); each
+    thread draws a service class from *classes* by weight, which sets its
+    priority, mean length (``work_scale * mean_total_work``) and phase
+    count.  Fully deterministic for a given seed and parameter set.
+    """
+    if not 0.0 < cgra_need < 1.0:
+        raise WorkloadError(f"cgra_need must be in (0,1), got {cgra_need}")
+    if n_threads < 1:
+        raise WorkloadError(f"n_threads must be >= 1, got {n_threads}")
+    if not kernels:
+        raise WorkloadError("kernel list is empty")
+    for k in kernels:
+        if k not in nominal_ii:
+            raise WorkloadError(f"no nominal II for kernel {k!r}")
+    if not classes:
+        raise WorkloadError("trace needs at least one priority class")
+    if burst_size < 1:
+        raise WorkloadError(f"burst_size must be >= 1, got {burst_size}")
+    if diurnal_period < 1:
+        raise WorkloadError(f"diurnal_period must be >= 1, got {diurnal_period}")
+    if not 0.0 <= diurnal_amplitude <= 1.0:
+        raise WorkloadError(
+            f"diurnal_amplitude must be in [0,1], got {diurnal_amplitude}"
+        )
+    rng = make_rng(seed)
+    arrivals = _arrival_times(
+        rng,
+        n_threads,
+        arrival_model,
+        mean_arrival_gap,
+        burst_size,
+        diurnal_period,
+        diurnal_amplitude,
+    )
+    weights = np.array([c.weight for c in classes], dtype=float)
+    weights /= weights.sum()
+    class_idx = rng.choice(len(classes), size=n_threads, p=weights)
+    threads: list[ThreadSpec] = []
+    for tid in range(n_threads):
+        cls = classes[int(class_idx[tid])]
+        total = (
+            cls.work_scale
+            * mean_total_work
+            * (1.0 + jitter * (2 * rng.random() - 1.0))
+        )
+        segments = _phase_segments(
+            rng, total, cgra_need, kernels, nominal_ii, cls.phases
+        )
+        threads.append(
+            ThreadSpec(tid, segments, int(arrivals[tid]), priority=cls.priority)
+        )
     return threads

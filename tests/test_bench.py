@@ -202,3 +202,85 @@ class TestCLI:
         assert "[cache]" in out  # hit/miss counters are reported
         records = json.loads(out_path.read_text())
         assert records and records[0]["experiment"] == "fig9"
+
+
+class TestPolicyTournament:
+    def _tournament(self, **kw):
+        from repro.bench.policies import run_tournament
+
+        defaults = dict(n_threads=40, n_pages=8, seed=3)
+        defaults.update(kw)
+        return run_tournament(**defaults)
+
+    def test_all_policies_all_series(self):
+        from repro.bench.policies import SERIES, run_tournament
+
+        results = self._tournament()
+        assert set(results) == set(SERIES)
+        for rows in results.values():
+            assert set(rows) == {
+                "halving",
+                "need-aware",
+                "fair-share",
+                "static-equal",
+                "best-fit",
+                "priority-evict",
+            }
+            for m in rows.values():
+                assert m["makespan"] > 0
+                assert 0 <= m["cgra_utilization"] <= 1
+                assert m["turnaround_p99"] >= m["turnaround_p50"] > 0
+
+    def test_leaderboard_deterministic_and_ranked(self):
+        from repro.bench.policies import leaderboard
+
+        a = leaderboard(self._tournament())
+        b = leaderboard(self._tournament())
+        # wall clock differs run to run; ranking ignores it entirely
+        assert a == b
+        assert [r["rank"] for r in a] == list(range(1, len(a) + 1))
+        assert a[0]["score"] == 1.0 or a[0]["score"] < a[-1]["score"]
+
+    def test_smoke_subset_verifies_against_oracle(self):
+        from repro.bench.policies import leaderboard, run_tournament
+
+        # the CI smoke path: tiny, two policies, oracle-replayed
+        results = run_tournament(
+            n_threads=10,
+            n_pages=4,
+            seed=1,
+            policies=["halving", "best-fit"],
+            verify=True,
+        )
+        board = leaderboard(results)
+        assert {r["policy"] for r in board} == {"halving", "best-fit"}
+
+    def test_bench_file_roundtrip(self, tmp_path):
+        from repro.bench.policies import (
+            leaderboard,
+            update_bench_file,
+        )
+
+        results = self._tournament()
+        board = leaderboard(results)
+        scale = {
+            "1k-saturated": {
+                "seconds": 1.0,
+                "n_threads": 1000,
+                "makespan": 10.0,
+                "reallocations": 5,
+            }
+        }
+        path = tmp_path / "bench.json"
+        update_bench_file(
+            scale, results, board, label="first", seed=3, path=path
+        )
+        scale2 = dict(scale)
+        scale2["1k-saturated"] = dict(scale["1k-saturated"], seconds=0.5)
+        data = update_bench_file(
+            scale2, results, board, label="second", seed=3, path=path
+        )
+        assert [e["label"] for e in data["entries"]] == ["first", "second"]
+        from repro.bench.policies import _speedups
+
+        assert _speedups(data)["1k-saturated"] == 2.0

@@ -208,3 +208,90 @@ class TestNeedAwareHalving:
         mgr.request(1, need=4)
         mgr.release(1)
         assert mgr.allocation_of(0).length == 1  # never grown past its need
+
+
+class TestBestFit:
+    def test_smallest_fitting_segment_trimmed_to_need(self):
+        from repro.core.policies import BestFitPolicy
+
+        mgr = CGRAManager(8, BestFitPolicy())
+        mgr.request(0, need=2)  # takes 8, trimmed to 2: free = [2..8)
+        mgr.request(1, need=4)  # free segment of 6 covers it, trimmed to 4
+        assert mgr.allocation_of(0) == Allocation(0, 2)
+        assert mgr.allocation_of(1) == Allocation(2, 4)
+        # a 2-page need best-fits the remaining 2-page hole exactly
+        mgr.request(2, need=2)
+        assert mgr.allocation_of(2) == Allocation(6, 2)
+
+    def test_without_need_takes_largest_free_segment(self):
+        from repro.core.policies import BestFitPolicy
+
+        mgr = CGRAManager(8, BestFitPolicy())
+        mgr.request(0, need=2)
+        mgr.request(1)  # no declared need: whole largest free segment
+        assert mgr.allocation_of(1) == Allocation(2, 6)
+
+    def test_falls_back_to_halving_when_full(self):
+        from repro.core.policies import BestFitPolicy
+
+        mgr = CGRAManager(8, BestFitPolicy())
+        mgr.request(0)  # no need: takes all 8
+        mgr.request(1)  # no free pages: halving splits thread 0
+        assert mgr.allocation_of(0).length == 4
+        assert mgr.allocation_of(1).length == 4
+
+    def test_oversized_need_gets_largest_free(self):
+        from repro.core.policies import BestFitPolicy
+
+        mgr = CGRAManager(8, BestFitPolicy())
+        mgr.request(0, need=2)
+        mgr.request(1, need=16)  # nothing fits: grant the largest whole
+        assert mgr.allocation_of(1) == Allocation(2, 6)
+
+
+class TestPriorityEviction:
+    def test_default_tid_priority_evicts_latest(self):
+        from repro.core.policies import PriorityEvictionPolicy
+
+        mgr = CGRAManager(2, PriorityEvictionPolicy())
+        mgr.request(1)
+        mgr.request(2)  # halved in
+        mgr.release(1)
+        mgr.request(3)  # free pages reused, no eviction
+        events = mgr.request(0)  # full array: tid 3 (lowest priority) evicted
+        assert mgr.allocation_of(0) is not None
+        assert mgr.allocation_of(3) is None
+        assert 3 in mgr.queue
+        assert any(e.tid == 3 and e.after is None for e in events)
+
+    def test_priority_map_overrides_tid_order(self):
+        from repro.core.policies import PriorityEvictionPolicy
+
+        # tid 0 is LOW priority here; tid 2 outranks everyone
+        pol = PriorityEvictionPolicy({0: 0, 1: 1, 2: 5})
+        mgr = CGRAManager(1, pol)
+        mgr.request(0)
+        events = mgr.request(2)
+        assert mgr.allocation_of(2) == Allocation(0, 1)
+        assert mgr.allocation_of(0) is None
+        assert any(e.tid == 0 and e.after is None for e in events)
+
+    def test_equal_priority_never_evicts(self):
+        from repro.core.policies import PriorityEvictionPolicy
+
+        pol = PriorityEvictionPolicy({0: 1, 1: 1})
+        mgr = CGRAManager(1, pol)
+        mgr.request(0)
+        mgr.request(1)
+        assert mgr.allocation_of(0) == Allocation(0, 1)
+        assert 1 in mgr.queue
+
+    def test_threads_absent_from_map_rank_zero(self):
+        from repro.core.policies import PriorityEvictionPolicy
+
+        pol = PriorityEvictionPolicy({5: 3})
+        mgr = CGRAManager(1, pol)
+        mgr.request(7)  # unknown tid: priority 0
+        mgr.request(5)  # mapped: priority 3 -> evicts 7
+        assert mgr.allocation_of(5) == Allocation(0, 1)
+        assert mgr.allocation_of(7) is None

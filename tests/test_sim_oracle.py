@@ -400,6 +400,34 @@ class TestEvictionRegression:
         result, oracle = verified(wl, cfg, "multithreaded")
         assert len(result.finish_times) == 3
 
+    def test_same_batch_admit_then_reshape_bills_admission_rate(self):
+        # regression: a release can admit an evicted thread and reshape it
+        # again within the same decision batch (eviction hand-off followed
+        # by the queue drain).  The activation used to read the manager's
+        # *final* allocation — billing the in-flight iteration's boundary
+        # drain at a rate the thread never ran at (off by 1.5 page-cycles
+        # in this scenario)
+        wl = [
+            thread(0, Segment("cpu", cycles=7),
+                   Segment("cgra", kernel="fast", trip=46)),
+            thread(1, Segment("cpu", cycles=7),
+                   Segment("cgra", kernel="fast", trip=49)),
+            thread(2, Segment("cpu", cycles=6),
+                   Segment("cgra", kernel="wide", trip=42)),
+            thread(3, Segment("cpu", cycles=8),
+                   Segment("cgra", kernel="fast", trip=54)),
+        ]
+        cfg = SystemConfig(
+            n_pages=8,
+            profiles=PROFILES,
+            policy=PriorityEvictionPolicy(),
+            reconfig_overhead=3,
+            switch_at_iteration_boundary=True,
+        )
+        result, oracle = verified(wl, cfg, "multithreaded")
+        assert result.evictions == 2
+        assert result.cgra_busy_page_cycles == float(oracle.busy_page_cycles)
+
 
 class TestTurnaroundAndImprovement:
     def test_turnaround_measured_from_arrival(self):
@@ -474,6 +502,7 @@ class TestFuzzSweep:
             "need-aware",
             "fair-share",
             "static-equal",
+            "best-fit",
             "evicting",
         }
         assert report.by_mode == {"single": 12, "multithreaded": 12}

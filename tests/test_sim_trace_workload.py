@@ -1,0 +1,157 @@
+"""Tests for the trace-driven workload generator (datacenter-scale sim).
+
+Covers the three properties the policy tournament depends on: seeded
+determinism (same seed, same trace, bit for bit), arrival-rate sanity for
+every arrival model, and the priority-class mix tracking its declared
+weights."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.system import KernelProfile, SystemConfig, simulate_system
+from repro.sim.workload import (
+    ARRIVAL_MODELS,
+    DEFAULT_CLASSES,
+    PriorityClass,
+    generate_trace,
+)
+from repro.util.errors import WorkloadError
+
+PROFILES = {
+    "fast": KernelProfile("fast", ii_base=1, ii_paged=1, pages_used=1),
+    "slow": KernelProfile("slow", ii_base=4, ii_paged=4, pages_used=1),
+}
+NOMINAL = {"fast": 1, "slow": 4}
+
+
+def trace(n=200, seed=11, **kw):
+    return generate_trace(n, 0.75, ["fast", "slow"], NOMINAL, seed=seed, **kw)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model", ARRIVAL_MODELS)
+    def test_same_seed_same_trace(self, model):
+        a = trace(arrival_model=model)
+        b = trace(arrival_model=model)
+        assert a == b
+
+    @pytest.mark.parametrize("model", ARRIVAL_MODELS)
+    def test_different_seed_different_trace(self, model):
+        assert trace(seed=1, arrival_model=model) != trace(
+            seed=2, arrival_model=model
+        )
+
+    def test_simulation_of_trace_is_deterministic(self):
+        wl = trace(n=40, arrival_model="bursty", mean_total_work=200)
+        cfg = SystemConfig(n_pages=4, profiles=PROFILES)
+        r1 = simulate_system(wl, cfg, "multithreaded")
+        r2 = simulate_system(wl, cfg, "multithreaded")
+        assert r1.makespan == r2.makespan
+        assert r1.reallocations == r2.reallocations
+
+
+class TestArrivals:
+    @pytest.mark.parametrize("model", ARRIVAL_MODELS)
+    def test_nondecreasing_from_zero(self, model):
+        arr = [t.arrival for t in trace(arrival_model=model)]
+        assert arr[0] == 0
+        assert arr == sorted(arr)
+        assert all(a >= 0 for a in arr)
+
+    def test_all_at_once(self):
+        assert all(t.arrival == 0 for t in trace(arrival_model="all-at-once"))
+
+    def test_poisson_rate(self):
+        # mean inter-arrival gap should land near the requested mean
+        arr = [
+            t.arrival
+            for t in trace(
+                n=2000, arrival_model="poisson", mean_arrival_gap=50.0
+            )
+        ]
+        mean_gap = arr[-1] / (len(arr) - 1)
+        assert mean_gap == pytest.approx(50.0, rel=0.15)
+
+    def test_bursty_clusters_and_rate(self):
+        wl = trace(
+            n=2000,
+            arrival_model="bursty",
+            mean_arrival_gap=50.0,
+            burst_size=8,
+        )
+        arr = [t.arrival for t in wl]
+        # long-run rate matches poisson's within slack
+        mean_gap = arr[-1] / (len(arr) - 1)
+        assert mean_gap == pytest.approx(50.0, rel=0.35)
+        # but arrivals cluster: far fewer distinct instants than threads
+        assert len(set(arr)) < len(arr) / 3
+
+    def test_diurnal_rate_varies_with_phase(self):
+        period = 20_000
+        wl = trace(
+            n=4000,
+            arrival_model="diurnal",
+            mean_arrival_gap=10.0,
+            diurnal_period=period,
+            diurnal_amplitude=0.9,
+        )
+        arr = [t.arrival for t in wl]
+        # peak half-cycles (sin > 0) must be denser than trough half-cycles
+        peak = sum(1 for a in arr if (a % period) < period / 2)
+        trough = len(arr) - peak
+        assert peak > 1.5 * trough
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(WorkloadError):
+            trace(arrival_model="tidal")
+
+
+class TestPriorityClasses:
+    def test_default_mix_tracks_weights(self):
+        wl = trace(n=4000)
+        counts = {c.priority: 0 for c in DEFAULT_CLASSES}
+        for t in wl:
+            counts[t.priority] += 1
+        for c in DEFAULT_CLASSES:
+            assert counts[c.priority] / len(wl) == pytest.approx(
+                c.weight, abs=0.05
+            )
+
+    def test_work_scale_orders_thread_lengths(self):
+        wl = trace(n=3000, mean_total_work=4000)
+        by_pri: dict[int, list[int]] = {}
+        for t in wl:
+            total = sum(s.cycles for s in t.segments if s.kind == "cpu") + sum(
+                s.trip * NOMINAL[s.kernel]
+                for s in t.segments
+                if s.kind == "cgra"
+            )
+            by_pri.setdefault(t.priority, []).append(total)
+        means = {
+            p: sum(v) / len(v) for p, v in by_pri.items()
+        }
+        # batch (pri 0) threads are the long ones; realtime the short ones
+        assert means[0] > means[1] > means[2]
+
+    def test_phase_counts_follow_class(self):
+        wl = trace(n=500)
+        phases = {c.priority: c.phases for c in DEFAULT_CLASSES}
+        for t in wl:
+            assert len(t.segments) == 2 * phases[t.priority]
+
+    def test_custom_single_class(self):
+        only = (PriorityClass("only", weight=1.0, priority=5, phases=3),)
+        wl = trace(n=50, classes=only)
+        assert all(t.priority == 5 for t in wl)
+        assert all(len(t.segments) == 6 for t in wl)
+
+    def test_class_validation(self):
+        with pytest.raises(WorkloadError):
+            PriorityClass("bad", weight=0.0, priority=0)
+        with pytest.raises(WorkloadError):
+            PriorityClass("bad", weight=1.0, priority=0, work_scale=-1.0)
+        with pytest.raises(WorkloadError):
+            PriorityClass("bad", weight=1.0, priority=0, phases=0)
+        with pytest.raises(WorkloadError):
+            trace(classes=())
