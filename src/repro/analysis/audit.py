@@ -158,6 +158,19 @@ MAP_REGDEPTH = register(
         "file PageMaster needs",
     )
 )
+MAP_MII = register(
+    Rule(
+        id="MAP-MII",
+        kind="audit",
+        severity=Severity.ERROR,
+        summary="stored II beats the provable minimum initiation interval",
+        fix_hint="the II lower bound (max of ResMII, memory-slot, "
+        "memory-capability and RecMII terms, re-derived from the kernel "
+        "registry and the artifact's stored geometry alone) is sound for "
+        "every legal mapping; an II below it means the artifact bytes are "
+        "corrupt or the store was written by a broken mapper",
+    )
+)
 FOLD_TABLE = register(
     Rule(
         id="FOLD-TABLE",
@@ -493,6 +506,77 @@ def _audit_capability(entry: AuditEntry, artifact, dfg) -> None:
                 break
 
 
+def _audit_mii(entry: AuditEntry, artifact, dfg) -> None:
+    """MAP-MII: the stored IIs must respect the provable lower bound.
+
+    The bound is re-derived from artifact bytes alone — the registry DFG
+    (already fingerprint-matched by provenance) and the stored grid/page
+    geometry — via the same :func:`repro.compiler.feas.ii_lower_bound`
+    every backend's ladder starts from.  The terms only assume what any
+    legal modulo schedule must satisfy (one op per (PE, slot), memory
+    issue-slot and capability budgets, recurrence circuits), so an II
+    *below* the bound is impossible, whatever heuristic produced it.
+    """
+    from repro.arch.capability import OpClass
+    from repro.compiler.feas import ii_lower_bound
+    from repro.core.paging import PageLayout
+
+    cgra = _build_cgra(artifact)
+    mem_mask = cgra.class_mask(OpClass.MEM)
+
+    def check(label: str, ii: int, pe_ids, mem_slots: int) -> None:
+        n_pes = len(pe_ids)
+        mem_capable = (
+            n_pes if mem_mask is None else sum(1 for p in pe_ids if mem_mask[p])
+        )
+        try:
+            bound = ii_lower_bound(
+                dfg,
+                num_pes=n_pes,
+                mem_slots=max(1, mem_slots),
+                mem_capable_pes=max(1, mem_capable),
+                max_ii=ii,
+            )
+        except MappingError as exc:
+            entry.findings.append(
+                _finding(
+                    MAP_MII,
+                    entry.path,
+                    f"{label} II {ii} stored for a kernel that provably "
+                    f"cannot map: {exc}",
+                )
+            )
+            return
+        if ii < bound.mii:
+            entry.findings.append(
+                _finding(
+                    MAP_MII,
+                    entry.path,
+                    f"{label} II {ii} beats the provable lower bound "
+                    f"{bound.mii} (binding term: {bound.binding()})",
+                )
+            )
+
+    check(
+        "base",
+        artifact.ii_base,
+        list(range(cgra.num_pes)),
+        cgra.rows * cgra.mem_ports_per_row,
+    )
+    try:
+        layout = PageLayout(cgra, tuple(artifact.page_shape))
+    except (ArchitectureError, MappingError):
+        return  # geometry problems are ART-ARCH/MAP-LEGAL territory
+    gi = cgra.grid_index
+    covered = [gi.id_of[pe] for pe in cgra.coords() if pe in layout.page_of]
+    check(
+        "paged",
+        artifact.ii_paged,
+        covered,
+        layout.num_pages * layout.shape[0] * cgra.mem_ports_per_row,
+    )
+
+
 def _audit_fold(entry: AuditEntry, artifact) -> None:
     from repro.core.pagemaster import PageMaster
 
@@ -638,6 +722,7 @@ def audit_file(path: Path, rel: str) -> AuditEntry:
         dfg = _audit_provenance(entry, artifact)
         if dfg is not None and not artifact.unmappable:
             _audit_mapping(entry, artifact, dfg)
+            _audit_mii(entry, artifact, dfg)
             _audit_fold(entry, artifact)
     if any(f.severity is Severity.ERROR for f in entry.findings):
         entry.status = "corrupt"

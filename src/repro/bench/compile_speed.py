@@ -31,6 +31,7 @@ __all__ = [
     "run_compile_speed",
     "geomean_speedup",
     "render_report",
+    "backend_summary",
     "search_totals",
     "update_bench_file",
     "main",
@@ -74,7 +75,7 @@ def run_compile_speed(
     timings and counters remain cleanly attributed); artifacts and IIs are
     byte-identical to the serial run.  *arch* selects a fabric preset
     (``repro.arch.presets``; overrides *size*), *backend* the paged
-    mapping strategy (``"flat"`` or ``"hier"``).
+    mapping strategy (``"flat"``, ``"hier"`` or ``"exact"``).
     """
     if arch is not None:
         from repro.arch.presets import preset
@@ -150,6 +151,27 @@ def render_report(stats: Sequence[CompileStats], history: dict | None = None) ->
             f"hier backend: clustered {hier_wins}/{hier_att} wins, "
             f"flat-fallback {flat_wins}/{flat_att} wins"
         )
+    rungs = {
+        k: sum(st.counters.get(k, 0) for st in stats)
+        for k in ("rungs_skipped", "rungs_pruned", "exact_probes", "exact_wins")
+    }
+    if any(rungs.values()):
+        lines.append(
+            "II rungs: {rungs_skipped} skipped (ladder memoization), "
+            "{rungs_pruned} pruned (feasibility certificates), "
+            "{exact_probes} SAT probes ({exact_wins} refuted)".format(**rungs)
+        )
+    board = backend_summary(stats)
+    if len(board) > 1 or any(b != "flat" for b in board):
+        lines.append("backend leaderboard (by total seconds):")
+        for name, rec in sorted(board.items(), key=lambda kv: kv[1]["seconds"]):
+            extra = ""
+            if rec.get("win_rate") is not None:
+                extra = f", win rate {rec['win_rate']:.0%}"
+            lines.append(
+                f"  {name:<6} {rec['seconds']:>8.2f}s over {rec['jobs']} "
+                f"job(s){extra}"
+            )
     search = search_totals(stats)
     if search is not None:
         lines.append(
@@ -171,6 +193,49 @@ def render_report(stats: Sequence[CompileStats], history: dict | None = None) ->
                 f"geomean speedup vs '{base['label']}': {speedup:.2f}x"
             )
     return "\n".join(lines)
+
+
+def backend_summary(stats: Sequence[CompileStats]) -> dict[str, dict]:
+    """Per-backend aggregate: job count, wall clock, rung accounting and
+    the backend's *win rate* — how often its distinguishing mechanism beat
+    the plain flat ladder (clustered placements for ``hier``, UNSAT rung
+    refutations for ``exact``; the flat ladder has no such mechanism, so
+    its rate is ``None``)."""
+    out: dict[str, dict] = {}
+    for st in stats:
+        rec = out.setdefault(
+            st.backend,
+            {
+                "jobs": 0,
+                "seconds": 0.0,
+                "rungs_skipped": 0,
+                "rungs_pruned": 0,
+                "exact_probes": 0,
+                "exact_wins": 0,
+                "hier_attempts": 0,
+                "hier_wins": 0,
+            },
+        )
+        rec["jobs"] += 1
+        rec["seconds"] += st.seconds
+        for k in (
+            "rungs_skipped",
+            "rungs_pruned",
+            "exact_probes",
+            "exact_wins",
+            "hier_attempts",
+            "hier_wins",
+        ):
+            rec[k] += st.counters.get(k, 0)
+    for name, rec in out.items():
+        rec["seconds"] = round(rec["seconds"], 3)
+        if name == "hier" and rec["hier_attempts"]:
+            rec["win_rate"] = round(rec["hier_wins"] / rec["hier_attempts"], 4)
+        elif name == "exact" and rec["exact_probes"]:
+            rec["win_rate"] = round(rec["exact_wins"] / rec["exact_probes"], 4)
+        else:
+            rec["win_rate"] = None
+    return out
 
 
 def search_totals(stats: Sequence[CompileStats]) -> dict | None:
@@ -216,6 +281,7 @@ def _entry_from_stats(
         "workers": workers,
         "total_seconds": round(sum(st.seconds for st in stats), 3),
         "counters_total": totals,
+        "backends": backend_summary(stats),
         "jobs": jobs,
     }
     search = search_totals(stats)

@@ -148,7 +148,7 @@ def _parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=["flat", "hier"],
+        choices=["flat", "hier", "exact"],
         default=None,
         help="paged mapping backend (compile-speed; default flat)",
     )

@@ -29,6 +29,7 @@ from repro.arch.capability import OpClass
 from repro.arch.cgra import CGRA
 from repro.arch.interconnect import Coord
 from repro.arch.isa import Opcode
+from repro.compiler.feas import ii_lower_bound
 from repro.compiler.mapping import (
     Mapping,
     Placement,
@@ -69,11 +70,12 @@ class MapperConfig:
     root_margin: int = 2  # extra slack before anchor-less non-source ops
     #: Paged-mapping backend: "flat" is the original single-level ladder;
     #: "hier" prepends a cluster-then-place hierarchical attempt at every II
-    #: rung (:mod:`repro.compiler.hier`).
+    #: rung (:mod:`repro.compiler.hier`); "exact" is the flat ladder with
+    #: SAT-certificate rung pruning (:mod:`repro.compiler.exact`).
     backend: str = "flat"
 
     def __post_init__(self) -> None:
-        if self.backend not in ("flat", "hier"):
+        if self.backend not in ("flat", "hier", "exact"):
             raise MappingError(f"unknown mapper backend {self.backend!r}")
 
     def fingerprint(self) -> str:
@@ -157,6 +159,9 @@ class EMSMapper:
         # Per-op placement domains (hier backend: ops pinned to one page's
         # PEs); empty outside a hierarchical attempt.
         self._op_domains: dict[int, tuple[int, ...]] = {}
+        # one-slot memo of the per-op trap tables, keyed on the DFG's
+        # adjacency epoch (see DFG._adjacency)
+        self._trap_cache: tuple | None = None
         self._route_ctx = RoutingContext(cgra, hop_allowed)
         # escape direction (pe -> nb) shares the router's allowed-move table
         self._esc_ids = self._route_ctx.allowed_moves
@@ -182,17 +187,44 @@ class EMSMapper:
 
     # -- public API ---------------------------------------------------------------
 
-    def map(self, dfg: DFG, *, min_ii: int | None = None) -> Mapping:
+    def map(
+        self,
+        dfg: DFG,
+        *,
+        min_ii: int | None = None,
+        resume_ii: int | None = None,
+    ) -> Mapping:
         """Map *dfg*, returning the best (lowest-II) mapping found.
 
         Raises :class:`MappingError` when no mapping exists up to
         ``config.max_ii``.
+
+        *resume_ii* is the ladder-memoization contract: the caller asserts
+        that every rung below it was already probed — with this exact
+        mapper geometry, config (up to ``max_ii``) and *min_ii* — and
+        failed, so those rungs are skipped.  The rng stream is still
+        advanced exactly as if the skipped perturbation attempts had run,
+        so the op orders tried at the remaining rungs (and therefore the
+        resulting mapping) are bit-for-bit what a full re-climb would
+        produce.
         """
         start_ii = self.ladder_start_ii(dfg, min_ii=min_ii)
         SEARCH.serial_ladders += 1
         rng = make_rng(self.config.seed)
         orders = self.attempt_orders(dfg)
         for ii in range(start_ii, self.config.max_ii + 1):
+            skip = resume_ii is not None and ii < resume_ii
+            if skip:
+                COUNTERS.rungs_skipped += 1
+            elif self.rung_infeasible(dfg, ii):
+                skip = True  # hook holds a proof; it does its own counting
+            if skip:
+                # burn the skipped rung's perturbation draws to keep the
+                # stream position identical to a full climb
+                for attempt in range(self.config.attempts_per_ii):
+                    if attempt >= len(orders):
+                        self._perturb(list(orders[0]), rng)
+                continue
             for attempt in range(self.config.attempts_per_ii):
                 if attempt < len(orders):
                     order = list(orders[attempt])
@@ -202,7 +234,9 @@ class EMSMapper:
                 result = self._try_map(dfg, ii, order)
                 if result is not None:
                     return result
-        raise MappingError(self.ladder_fail_message(dfg))
+        err = MappingError(self.ladder_fail_message(dfg))
+        err.ladder_probed = (start_ii, self.config.max_ii)
+        raise err
 
     # -- the (II, attempt) ladder as data ------------------------------------------
     #
@@ -219,35 +253,30 @@ class EMSMapper:
         Raises :class:`MappingError` for DFGs that can never fit, exactly
         as :meth:`map` would before entering the ladder.
         """
-        n_mat = len(materialized_ops(dfg))
-        if n_mat == 0:
-            raise MappingError("cannot map a DFG with no materialized ops")
-        if n_mat > len(self.allowed_pes) * self.config.max_ii:
-            raise MappingError(
-                f"{n_mat} ops can never fit {len(self.allowed_pes)} PEs "
-                f"within max II {self.config.max_ii}"
-            )
-        if dfg.num_memory_ops and self._mem_capable_count == 0:
-            raise MappingError(
-                f"{dfg.name!r} has {dfg.num_memory_ops} memory ops but no "
-                f"mem-capable PE is available to the mapper"
-            )
-        start_ii = max(
-            math.ceil(n_mat / len(self.allowed_pes)),
-            math.ceil(dfg.num_memory_ops / self.mem_slots),
-            # capability floor: each mem-capable PE issues at most one
-            # memory op per II cycle (equals the ResMII term when the
-            # fabric is homogeneous, so the homogeneous ladder is unchanged)
-            (
-                math.ceil(dfg.num_memory_ops / self._mem_capable_count)
-                if dfg.num_memory_ops
-                else 1
-            ),
-            rec_mii(dfg),
+        bound = ii_lower_bound(
+            dfg,
+            num_pes=len(self.allowed_pes),
+            mem_slots=self.mem_slots,
+            mem_capable_pes=self._mem_capable_count,
+            max_ii=self.config.max_ii,
         )
+        start_ii = bound.mii
         if min_ii is not None:
             start_ii = max(start_ii, min_ii)
         return start_ii
+
+    def rung_infeasible(self, dfg: DFG, ii: int) -> bool:
+        """Certificate hook: may a backend *prove* rung *ii* dead?
+
+        The flat ladder never prunes.  Overrides (the exact backend's SAT
+        refutation, :class:`repro.compiler.exact.ExactMapper`) must hold a
+        soundness proof covering every attempt the rung would have run —
+        a pruned rung burns its rng draws but is otherwise skipped, so an
+        unsound prune would change the ladder's outcome, not just its
+        cost.  Only consulted by the serial climb; speculative portfolio
+        probes replay single lattice points and never prune.
+        """
+        return False
 
     def ladder_fail_message(self, dfg: DFG) -> str:
         """The error text of a ladder exhausted up to ``config.max_ii``."""
@@ -495,12 +524,13 @@ class EMSMapper:
         feasible_seen = 0
         evals = 0
         mrt = st.mrt
+        is_mem = op.is_memory
         for t in range(t_lo, t_hi + 1):
             for pe in candidates:
                 COUNTERS.placement_probes += 1
                 if not mrt.slot_free_id(pe, t):
                     continue
-                if op.is_memory and not mrt.bus_free_id(pe, t):
+                if is_mem and not mrt.bus_free_id(pe, t):
                     continue
                 evals += 1
                 cost = self._trial_cost(
@@ -714,29 +744,62 @@ class EMSMapper:
         mrt = st.mrt
         arr_ids = self._arr_ids
         esc_ids = self._esc_ids
-        for u_id, (u_pe, u_t) in st.placements.items():
-            pending_in = sum(
-                1
-                for e in dfg.in_edges(u_id)
-                if e.src not in st.placements
-                and dfg.ops[e.src].opcode is not Opcode.CONST
-            )
-            pending_out = any(
-                e.dst not in st.placements for e in dfg.out_edges(u_id)
-            )
-            if pending_in:
-                free = 0
-                for nb in arr_ids[u_pe]:
-                    if mrt.slot_free_id(nb, u_t - 1):
-                        free += 1
-                if free < min(pending_in, 2):
-                    return True
-            if pending_out:
-                if not any(
-                    mrt.slot_free_id(nb, u_t + 1) for nb in esc_ids[u_pe]
-                ):
-                    return True
+        occ = mrt._occ_mask
+        num_pes = mrt.num_pes
+        placements = st.placements
+        trap_in, trap_out = self._trap_tables(dfg)
+        for u_id, (u_pe, u_t) in placements.items():
+            srcs = trap_in[u_id]
+            if srcs:
+                pending_in = 0
+                for s in srcs:
+                    if s not in placements:
+                        pending_in += 1
+                if pending_in:
+                    need = 2 if pending_in > 1 else 1
+                    base = ((u_t - 1) % ii) * num_pes
+                    free = 0
+                    for nb in arr_ids[u_pe]:
+                        if not occ[base + nb]:
+                            free += 1
+                            if free >= need:
+                                break
+                    if free < need:
+                        return True
+            for d in trap_out[u_id]:
+                if d not in placements:
+                    base = ((u_t + 1) % ii) * num_pes
+                    for nb in esc_ids[u_pe]:
+                        if not occ[base + nb]:
+                            break
+                    else:
+                        return True
+                    break
         return False
+
+    def _trap_tables(self, dfg: DFG) -> tuple[dict, dict]:
+        """Per-op operand-source / consumer tables for the trap check,
+        memoized per DFG adjacency epoch.  ``trap_in[u]`` lists the
+        non-constant producer of every in-edge (duplicates preserved, one
+        per edge, matching the historical per-edge count); ``trap_out[u]``
+        lists consumer op ids."""
+        adj = dfg._adjacency()
+        cache = self._trap_cache
+        if cache is not None and cache[0] is adj:
+            return cache[1], cache[2]
+        ins, outs = adj
+        ops = dfg.ops
+        trap_in = {
+            u: tuple(
+                e.src
+                for e in edges
+                if ops[e.src].opcode is not Opcode.CONST
+            )
+            for u, edges in ins.items()
+        }
+        trap_out = {u: tuple(e.dst for e in edges) for u, edges in outs.items()}
+        self._trap_cache = (adj, trap_in, trap_out)
+        return trap_in, trap_out
 
 
 def map_dfg(

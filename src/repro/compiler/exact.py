@@ -1,0 +1,226 @@
+"""Exact modulo-scheduling backend: a SAT-refutation-assisted flat ladder.
+
+``MapperConfig(backend="exact")`` selects :class:`ExactMapper`, a drop-in
+:class:`~repro.compiler.ems.EMSMapper` whose ladder consults an in-house
+CDCL solver (:mod:`repro.compiler.sat`) before greedily attacking each II
+rung.  The solver decides a *modulo-domain relaxation* of the mapper's
+constraint model — placement exactly-one, per-(PE, cycle-slot) capacity,
+operand arrival from the in-neighborhood, banked-bus budgets — so an
+**UNSAT** verdict is a machine-checked certificate that no mapping exists
+at that II and the greedy attempts can be skipped outright
+(``COUNTERS.rungs_pruned``).  A SAT verdict proves nothing about the full
+model (the relaxation drops route-shape and horizon constraints), so the
+ladder then runs its normal attempts.
+
+Byte-compatibility is the design center, not an accident:
+
+* A pruned rung still burns the same perturbation rng draws the flat
+  ladder would have spent there, so the op orders tried at every later
+  rung — and hence the winning mapping — are bit-for-bit the flat
+  backend's.  (Soundness makes the skipped attempts unobservable: they
+  would all have failed.)
+* Under the portfolio engine the probes replay the shared
+  lattice-attempt protocol unchanged — speculative (II, attempt) probes
+  never consult the solver — so ``workers ∈ {1, 2, 4}`` produce the same
+  bytes as the serial exact ladder, which produces the same mapping the
+  flat ladder would.
+
+The engagement policy is deliberately conservative: pure-Python CDCL is
+only cheap on small instances, so the probe engages when the estimated
+variable count stays under :attr:`ExactMapper.probe_var_cap` and gives up
+at :attr:`ExactMapper.probe_conflict_budget` conflicts (an inconclusive
+probe prunes nothing).  Artifacts compiled with this backend get their own
+addresses: ``MapperConfig.fingerprint`` keeps non-default ``backend``
+values in the hashed payload.
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import Opcode
+from repro.compiler.ems import EMSMapper
+from repro.compiler.mapping import materialized_ops
+from repro.compiler.sat import (
+    Solver,
+    add_at_most_k,
+    add_at_most_one,
+    add_exactly_one,
+)
+from repro.compiler.stats import COUNTERS
+from repro.dfg.graph import DFG
+
+__all__ = ["ExactMapper", "encode_modulo_relaxation", "probe_rung"]
+
+
+def encode_modulo_relaxation(mapper: EMSMapper, dfg: DFG, ii: int):
+    """CNF over-approximation of "some mapping of *dfg* exists at *ii*".
+
+    Variables: ``X[v][(p, s)]`` — materialized op *v* fires on PE *p* at
+    modulo slot *s*; ``R[w][(p, s)]`` — a routing step of value
+    ``w = (producer, loop distance)`` occupies ``(p, s)``.
+
+    Clauses (each satisfied by the assignment any legal mapping induces —
+    see ``tests/test_feasibility.py::test_relaxation_admits_real_mappings``):
+
+    * exactly one ``(p, s)`` per op, with *p* drawn from the op's
+      capability domain (mem / alu / route masks);
+    * at most one occupant per ``(p, s)`` slot — ops and route steps
+      charge the same reservation table;
+    * a route step at ``(p, s)`` reads the value from some
+      ``q ∈ arr(p)`` at slot ``s-1`` (a step or the producer itself);
+    * a consumer at ``(p, s)`` reads each distinct non-CONST operand
+      value from some ``q ∈ arr(p)`` at slot ``s-1``;
+    * per (bus segment, slot), at most ``mem_ports_per_row`` memory ops.
+
+    Route variables span **all** PEs available to the mapper (not just
+    route-capable ones) so the encoding stays a relaxation even where the
+    real router is choosier — UNSAT must imply real infeasibility.
+
+    Returns ``(solver, X)``.
+    """
+    s = Solver()
+    allowed = list(mapper._allowed_ids)
+    arr = mapper._arr_ids
+    mem_ok = mapper._mem_ok
+    alu_ok = mapper._alu_ok
+    route_ok = mapper._route_ok
+    ops = materialized_ops(dfg)
+
+    dom = {}
+    for v in ops:
+        op = dfg.ops[v]
+        if op.is_memory:
+            mask = mem_ok
+        elif op.opcode is Opcode.ROUTE:
+            mask = route_ok
+        else:
+            mask = alu_ok
+        dom[v] = [p for p in allowed if mask is None or mask[p]]
+
+    values = sorted(
+        {
+            (e.src, e.distance)
+            for e in dfg.edges.values()
+            if dfg.ops[e.src].opcode is not Opcode.CONST
+        }
+    )
+
+    X = {v: {} for v in ops}
+    for v in ops:
+        for p in dom[v]:
+            for t in range(ii):
+                X[v][(p, t)] = s.new_var()
+    R = {w: {} for w in values}
+    for w in values:
+        for p in allowed:
+            for t in range(ii):
+                R[w][(p, t)] = s.new_var()
+
+    for v in ops:
+        add_exactly_one(s, list(X[v].values()))
+    for p in allowed:
+        for t in range(ii):
+            lits = [X[v][(p, t)] for v in ops if (p, t) in X[v]]
+            lits += [R[w][(p, t)] for w in values]
+            add_at_most_one(s, lits)
+    for w in values:
+        u = w[0]
+        for p in allowed:
+            for t in range(ii):
+                t1 = (t - 1) % ii
+                cl = [-R[w][(p, t)]]
+                for q in arr[p]:
+                    rv = R[w].get((q, t1))
+                    if rv:
+                        cl.append(rv)
+                    xv = X[u].get((q, t1))
+                    if xv:
+                        cl.append(xv)
+                s.add_clause(cl)
+    reads: dict[int, set] = {}
+    for e in dfg.edges.values():
+        if dfg.ops[e.src].opcode is Opcode.CONST:
+            continue
+        reads.setdefault(e.dst, set()).add((e.src, e.distance))
+    for v, ws in reads.items():
+        if v not in X:
+            continue
+        for w in sorted(ws):
+            u = w[0]
+            for (p, t), xv in X[v].items():
+                t1 = (t - 1) % ii
+                cl = [-xv]
+                for q in arr[p]:
+                    rv = R[w].get((q, t1))
+                    if rv:
+                        cl.append(rv)
+                    xu = X[u].get((q, t1))
+                    if xu:
+                        cl.append(xu)
+                s.add_clause(cl)
+    if mapper.bus_key is not None:
+        coords = mapper._gi.coords
+        segs: dict = {}
+        for p in allowed:
+            segs.setdefault(mapper.bus_key(coords[p]), []).append(p)
+        cap = mapper.cgra.mem_ports_per_row
+        mem_ops = [v for v in ops if dfg.ops[v].is_memory]
+        for seg in segs.values():
+            for t in range(ii):
+                lits = [
+                    X[v][(p, t)] for v in mem_ops for p in seg if (p, t) in X[v]
+                ]
+                if len(lits) > cap:
+                    add_at_most_k(s, lits, cap)
+    return s, X
+
+
+def probe_rung(
+    mapper: EMSMapper, dfg: DFG, ii: int, *, conflict_budget: int
+) -> bool | None:
+    """Decide the relaxation at *ii*.  ``False`` = proven infeasible
+    (sound to prune), ``True`` = relaxation satisfiable (proves nothing),
+    ``None`` = budget exhausted (prune nothing)."""
+    solver, _x = encode_modulo_relaxation(mapper, dfg, ii)
+    return solver.solve(conflict_budget=conflict_budget)
+
+
+class ExactMapper(EMSMapper):
+    """The flat ladder with SAT-certificate rung pruning.
+
+    Identical to :class:`EMSMapper` — same placement heuristics, same rng
+    protocol, same lattice-attempt interface for the portfolio engine —
+    except that :meth:`rung_infeasible` may prove a rung dead before the
+    greedy attempts run.
+    """
+
+    #: skip the probe when (ops + values) x PEs x II exceeds this — pure-
+    #: Python CDCL is only profitable on tiny instances.  Calibrated on
+    #: the 4x4 suite: every refutation that actually fires does so on a
+    #: short page-subchain context (est <= 130, <= 150 conflicts, <0.1s),
+    #: while probes above ~200 — through fft's est >= 960 rungs — only
+    #: ever exhaust their budget, at up to ~0.5s apiece
+    probe_var_cap = 200
+    #: give up (and prune nothing) after this many conflicts
+    probe_conflict_budget = 600
+
+    def rung_infeasible(self, dfg: DFG, ii: int) -> bool:
+        n_ops = len(materialized_ops(dfg))
+        n_values = len(
+            {
+                (e.src, e.distance)
+                for e in dfg.edges.values()
+                if dfg.ops[e.src].opcode is not Opcode.CONST
+            }
+        )
+        est = (n_ops + n_values) * len(self._allowed_ids) * ii
+        if est > self.probe_var_cap:
+            return False
+        COUNTERS.exact_probes += 1
+        verdict = probe_rung(
+            self, dfg, ii, conflict_budget=self.probe_conflict_budget
+        )
+        if verdict is False:
+            COUNTERS.exact_wins += 1
+            COUNTERS.rungs_pruned += 1
+            return True
+        return False

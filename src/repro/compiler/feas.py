@@ -1,0 +1,209 @@
+"""II feasibility: exact lower bounds and cheap infeasibility certificates.
+
+Every backend climbs an (II, attempt) ladder whose first rung is the
+minimum initiation interval MII = max(ResMII, RecMII).  This module owns
+that computation — :func:`ii_lower_bound` is the single source of truth the
+flat ladder (:meth:`repro.compiler.ems.EMSMapper.ladder_start_ii`), the
+hierarchical backend and the exact SAT backend all delegate to — plus a
+family of *certificates*: cheap, sound proofs that a DFG cannot map at a
+given II (or at any II) on a given fabric, in the style of the degree and
+neighborhood filters subgraph-monomorphism solvers run before search.
+
+Soundness contract: a certificate may only fire when **no** mapping exists
+under the mapper's own constraint model.  Certificates therefore reason
+about the same resources the placer and router charge — one op or routed
+value per (PE, cycle-slot), operand arrival from the in-neighborhood
+``arr(p) = {p} ∪ in-neighbors(p)``, memory issue slots per cycle — and
+never about heuristics.  The property tests in
+``tests/test_feasibility.py`` replay every committed artifact against the
+certificates: an II that actually mapped must never be pruned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compiler.mapping import materialized_ops
+from repro.compiler.stats import COUNTERS
+from repro.dfg.analysis import rec_mii
+from repro.dfg.graph import DFG, Opcode
+from repro.util.errors import MappingError
+
+__all__ = [
+    "IIBound",
+    "ii_lower_bound",
+    "max_distinct_fanin",
+    "fanin_certificate",
+    "page_order_certificate",
+    "prune_to",
+]
+
+
+@dataclass(frozen=True)
+class IIBound:
+    """The exact per-resource lower bounds on the initiation interval.
+
+    ``mii`` is the ladder's first rung; the individual terms are kept
+    separate so audits and benchmarks can report *which* resource binds.
+    """
+
+    res_mii: int  #: ceil(materialized ops / PEs available to the mapper)
+    mem_slot_mii: int  #: ceil(memory ops / memory issue slots per cycle)
+    mem_cap_mii: int  #: ceil(memory ops / mem-capable PEs) — capability floor
+    rec_mii: int  #: longest-cycle bound over the DFG's recurrences
+
+    @property
+    def mii(self) -> int:
+        return max(self.res_mii, self.mem_slot_mii, self.mem_cap_mii, self.rec_mii)
+
+    def binding(self) -> str:
+        """Name of (one of) the binding resources, for reports."""
+        m = self.mii
+        for name in ("res_mii", "mem_slot_mii", "mem_cap_mii", "rec_mii"):
+            if getattr(self, name) == m:
+                return name
+        return "res_mii"
+
+
+def ii_lower_bound(
+    dfg: DFG,
+    *,
+    num_pes: int,
+    mem_slots: int,
+    mem_capable_pes: int,
+    max_ii: int,
+) -> IIBound:
+    """Exact MII terms for *dfg* on a fabric exposing *num_pes* PEs,
+    *mem_slots* memory issue slots per cycle and *mem_capable_pes*
+    mem-capable PEs.
+
+    Raises :class:`MappingError` — with the ladder's historical messages —
+    for DFGs that can never map at any II up to *max_ii*: nothing to
+    place, more ops than (PE, slot) pairs, or memory ops with no
+    mem-capable PE.
+    """
+    n_mat = len(materialized_ops(dfg))
+    if n_mat == 0:
+        raise MappingError("cannot map a DFG with no materialized ops")
+    if n_mat > num_pes * max_ii:
+        raise MappingError(
+            f"{n_mat} ops can never fit {num_pes} PEs "
+            f"within max II {max_ii}"
+        )
+    n_mem = dfg.num_memory_ops
+    if n_mem and mem_capable_pes == 0:
+        raise MappingError(
+            f"{dfg.name!r} has {n_mem} memory ops but no "
+            f"mem-capable PE is available to the mapper"
+        )
+    return IIBound(
+        res_mii=math.ceil(n_mat / num_pes),
+        mem_slot_mii=math.ceil(n_mem / mem_slots) if n_mem else 1,
+        # each mem-capable PE issues at most one memory op per II cycle
+        # (equals the ResMII term when the fabric is homogeneous, so the
+        # homogeneous ladder is unchanged)
+        mem_cap_mii=math.ceil(n_mem / mem_capable_pes) if n_mem else 1,
+        rec_mii=rec_mii(dfg),
+    )
+
+
+# -- certificates ---------------------------------------------------------------
+#
+# Degree/neighborhood filters: II-independent structural proofs that no
+# placement can satisfy the routing model, checked in O(V + E).  They are
+# the moral equivalent of a subgraph-monomorphism solver rejecting a
+# pattern vertex whose degree exceeds every target vertex's degree.
+
+
+def max_distinct_fanin(dfg: DFG) -> int:
+    """Largest number of distinct routed input values any op consumes.
+
+    CONST operands are baked into the consuming PE's instruction word and
+    never routed, so they don't count; neither do duplicate uses of the
+    same producer (one arriving value feeds both operand ports).
+    """
+    ops = dfg.ops
+    worst = 0
+    for v in ops.values():
+        srcs = {
+            e.src
+            for e in dfg.in_edges(v)
+            if ops[e.src].opcode is not Opcode.CONST
+        }
+        if len(srcs) > worst:
+            worst = len(srcs)
+    return worst
+
+
+def fanin_certificate(dfg: DFG, arr_sizes) -> str | None:
+    """Fan-in/neighborhood filter: proof *dfg* maps at **no** II.
+
+    At the cycle an op fires on PE ``p``, each of its distinct routed
+    input values occupies a distinct ``(q, t-1)`` slot with
+    ``q ∈ arr(p)`` — one PE holds one value per cycle-slot, so an op
+    needing more distinct inputs than the largest arrival neighborhood on
+    the fabric can never have all operands adjacent, at any II.
+
+    *arr_sizes* is an iterable of ``len(arr(p))`` over the PEs available
+    to the mapper (``arr`` includes ``p`` itself: a value may wait on the
+    firing PE).  Returns the refutation text, or ``None`` when the filter
+    passes.  This fires on pathological fabrics (e.g. 1-wide chains) and
+    adversarial random DFGs — never on the paper's kernel suite.
+    """
+    cap = max(arr_sizes, default=0)
+    need = max_distinct_fanin(dfg)
+    if need > cap:
+        return (
+            f"op fan-in {need} exceeds the largest arrival neighborhood "
+            f"({cap} PEs incl. self): unmappable at any II"
+        )
+    return None
+
+
+def page_order_certificate(
+    edges,
+    page_domains: dict[int, frozenset[int]],
+    *,
+    allow_wrap: bool,
+) -> str | None:
+    """Page-direction filter for *pinned* placements (hier/exact/tests).
+
+    Under the ring constraint, inter-page traffic only flows to the next
+    page in chain order (plus the wrap link when the layout allows it).
+    If every candidate page of a producer sits strictly *after* every
+    candidate page of its consumer on a wrap-free chain, no route exists
+    at any II.  *edges* is an iterable of ``(src_op, dst_op)`` pairs;
+    *page_domains* maps op ids to their candidate page sets (ops absent
+    from the dict are unconstrained).  Returns refutation text or
+    ``None``.  Purely advisory for the flat ladder — it never pins ops —
+    so it cannot change flat artifacts.
+    """
+    if allow_wrap:
+        return None
+    for src, dst in edges:
+        ds = page_domains.get(src)
+        dd = page_domains.get(dst)
+        if not ds or not dd:
+            continue
+        if min(ds) > max(dd):
+            return (
+                f"edge {src}->{dst} forced backwards across the wrap-free "
+                f"chain (pages {sorted(ds)} -> {sorted(dd)}): unmappable "
+                f"at any II"
+            )
+    return None
+
+
+def prune_to(start_ii: int, certified_ii: int) -> int:
+    """Raise a ladder's first rung to *certified_ii*, counting the rungs a
+    certificate proved infeasible into ``COUNTERS.rungs_pruned``.
+
+    Callers must hold a soundness proof for every skipped rung; the flat
+    ladder's byte-stability is preserved because its bounds already equal
+    the certified floor (this helper is for the exact backend's probes).
+    """
+    if certified_ii > start_ii:
+        COUNTERS.rungs_pruned += certified_ii - start_ii
+        return certified_ii
+    return start_ii

@@ -56,6 +56,7 @@ class ReservationTable:
         "bus_key",
         "num_pes",
         "_occ",
+        "_occ_mask",
         "_free",
         "_bus_of_pe",
         "_bus_segments",
@@ -80,6 +81,10 @@ class ReservationTable:
         self.num_pes = cgra.num_pes
         # occupancy label per (modulo slot, PE), flat; None == free
         self._occ: list[str | None] = [None] * (ii * self.num_pes)
+        # the same occupancy as a bytearray bitmap (1 == taken), kept in
+        # lockstep so the routers' inner loops test one byte per slot and
+        # seed their visited sets with a C-speed copy
+        self._occ_mask = bytearray(ii * self.num_pes)
         # free-PE count per modulo slot (makes free_slots_at O(1))
         self._free: list[int] = [self.num_pes] * ii
         # lazily interned bus segments: pe_id -> segment index
@@ -162,6 +167,7 @@ class ReservationTable:
                 )
             self._bus_use[b * self.ii + m] += 1
         self._occ[idx] = label
+        self._occ_mask[idx] = 1
         self._free[m] -= 1
 
     def release(self, pe: Coord, time: int, *, memory: bool = False) -> None:
@@ -174,6 +180,7 @@ class ReservationTable:
             pe = self.cgra.grid_index.coords[pe_id]
             raise MappingError(f"slot ({pe}, mod {m}) not claimed")
         self._occ[idx] = None
+        self._occ_mask[idx] = 0
         self._free[m] += 1
         if memory:
             b = self._bus_id(pe_id)
@@ -191,6 +198,7 @@ class ReservationTable:
         dup.bus_key = self.bus_key
         dup.num_pes = self.num_pes
         dup._occ = self._occ.copy()
+        dup._occ_mask = self._occ_mask.copy()
         dup._free = self._free.copy()
         dup._bus_of_pe = self._bus_of_pe.copy()
         dup._bus_segments = dict(self._bus_segments)

@@ -224,9 +224,15 @@ def _map_topologies(
             dfg, cgra, layout, first_config, min_ii, validate,
             search=search, search_log=search_log,
         )
-    except MappingError:
+    except MappingError as chain_exc:
         if not can_fall_back:
             raise
+        # When the bounded chain pass exhausted its ladder (rather than
+        # failing before it), it proved every rung up to its II cap fails
+        # in exactly the context the unbounded retry below re-enters —
+        # same layout, mapper geometry and config apart from max_ii.  The
+        # retry resumes above the cap; rng anchoring keeps it byte-equal.
+        probed = getattr(chain_exc, "ladder_probed", None)
         ring_layout = PageLayout(cgra, layout.shape, allow_wrap=True)
         try:
             return _map_once(
@@ -238,6 +244,7 @@ def _map_topologies(
             return _map_once(
                 dfg, cgra, layout, config, min_ii, validate,
                 search=search, search_log=search_log,
+                resume_ii=probed[1] + 1 if probed is not None else None,
             )
 
 
@@ -248,9 +255,14 @@ def paged_mapper(
     (covered PEs, ring hop filter, banked bus key, page-rank bias) shared
     by the serial path, the portfolio's :class:`~repro.compiler.search.
     MapperSpec` and the hierarchical backend."""
+    cls = EMSMapper
+    if config is not None and config.backend == "exact":
+        from repro.compiler.exact import ExactMapper
+
+        cls = ExactMapper
     allowed = [pe for pe in cgra.coords() if pe in layout.page_of]
     mem_slots = layout.num_pages * layout.shape[0] * cgra.mem_ports_per_row
-    return EMSMapper(
+    return cls(
         cgra,
         allowed_pes=allowed,
         hop_allowed=ring_hop_filter(layout),
@@ -271,6 +283,7 @@ def _map_once(
     full_layout: PageLayout | None = None,
     search=None,
     search_log=None,
+    resume_ii=None,
 ) -> PagedMapping:
     hop = ring_hop_filter(layout)
     allowed = [pe for pe in cgra.coords() if pe in layout.page_of]
@@ -279,10 +292,13 @@ def _map_once(
 
         spec = MapperSpec.for_paged(cgra, layout, config or MapperConfig())
         mapping = portfolio_map(
-            spec, dfg, cgra=cgra, min_ii=min_ii, ctx=search, log=search_log
+            spec, dfg, cgra=cgra, min_ii=min_ii, resume_ii=resume_ii,
+            ctx=search, log=search_log,
         )
     else:
-        mapping = paged_mapper(cgra, layout, config).map(dfg, min_ii=min_ii)
+        mapping = paged_mapper(cgra, layout, config).map(
+            dfg, min_ii=min_ii, resume_ii=resume_ii
+        )
     if validate:
         validate_mapping(
             mapping,

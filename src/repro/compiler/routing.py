@@ -68,6 +68,7 @@ class RoutingContext:
         "allowed_moves",
         "_route_mask",
         "_moves_toward",
+        "_moves_tables",
         "_goals",
     )
 
@@ -101,6 +102,9 @@ class RoutingContext:
         self._moves_toward: list[dict[int, tuple[int, ...]]] = [
             {} for _ in range(gi.num_pes)
         ]
+        # hint -> full per-PE move table (one indexed load per expansion in
+        # the route searches instead of a method call + dict probe)
+        self._moves_tables: dict[int, tuple[tuple[int, ...], ...]] = {}
         # dst -> (goal ids sorted, membership mask, min-dist-to-goal, hint)
         self._goals: dict[
             int,
@@ -122,6 +126,24 @@ class RoutingContext:
         else:
             COUNTERS.move_cache_hits += 1
         return out
+
+    def moves_table(self, hint_id: int | None) -> tuple[tuple[int, ...], ...]:
+        """The full per-PE :meth:`moves` table for one destination hint.
+
+        The route searches index this tuple directly in their inner loops;
+        each entry is exactly ``moves(p, hint_id)``, so move ordering (and
+        therefore every tie-break the searches make) is unchanged."""
+        if hint_id is None:
+            return self.allowed_moves
+        tbl = self._moves_tables.get(hint_id)
+        if tbl is None:
+            tbl = tuple(
+                self.moves(p, hint_id) for p in range(self.gi.num_pes)
+            )
+            self._moves_tables[hint_id] = tbl
+        else:
+            COUNTERS.move_cache_hits += 1
+        return tbl
 
     def goal_table(
         self, dst_id: int
@@ -222,9 +244,11 @@ def find_route_shared_ids(
     max_expansions: int = 20000,
 ) -> tuple[tuple[RouteStep, ...], "RouteStep | None"] | None:
     """Integer-domain :func:`find_route_shared` (hot-path entry point)."""
-    ordered = sorted(
-        (s for s in sources if t_dst - s[1] >= 1), key=lambda s: t_dst - s[1]
-    )
+    ordered = [s for s in sources if t_dst - s[1] >= 1]
+    if len(ordered) > 1:
+        # nearest holder (latest re-emission) first; stable, so sibling
+        # steps keep their discovery order within a gap class
+        ordered.sort(key=lambda s: t_dst - s[1])
     for pe_id, time, tap in ordered:
         steps = find_route_ids(
             ctx, mrt, pe_id, time, dst_id, t_dst, max_expansions=max_expansions
@@ -305,7 +329,7 @@ def find_route_ids(
 def _steps_of(ctx: RoutingContext, path: list[int], t_src_eff: int):
     coords = ctx.gi.coords
     return tuple(
-        RouteStep(coords[p], t_src_eff + j + 1) for j, p in enumerate(path)
+        [RouteStep(coords[p], t_src_eff + j + 1) for j, p in enumerate(path)]
     )
 
 
@@ -324,8 +348,8 @@ def _bfs_route(
     COUNTERS.bfs_calls += 1
     ii = mrt.ii
     num_pes = mrt.num_pes
-    occ = mrt._occ
-    moves = ctx.moves
+    occ = mrt._occ_mask
+    mt = ctx.moves_table(hint)
     expansions = 0
     layer: dict[int, int | None] = {src_id: None}
     parents: list[dict[int, int]] = []
@@ -335,10 +359,10 @@ def _bfs_route(
         nxt: dict[int, int] = {}
         for p in layer:
             expansions += 1
-            for q in moves(p, hint):
+            for q in mt[p]:
                 if q in nxt:
                     continue
-                if occ[base + q] is not None:
+                if occ[base + q]:
                     continue
                 # prune states that cannot reach any goal in remaining hops
                 if min_dist[q] > remaining:
@@ -374,41 +398,102 @@ def _dfs_route(
     max_expansions: int,
 ) -> tuple[RouteStep, ...] | None:
     """Depth-first exact-length search tracking the modulo slots the partial
-    path itself occupies (needed when the route is longer than the II)."""
+    path itself occupies (needed when the route is longer than the II).
+
+    Children are probed in :meth:`RoutingContext.moves_table` order (one
+    indexed load per expansion instead of a method call + dict probe) and
+    leaf goal tests are inlined into the parent's loop; visit order,
+    budget accounting and therefore search results are bit-for-bit
+    unchanged from the original formulation."""
     COUNTERS.dfs_calls += 1
     ii = mrt.ii
     num_pes = mrt.num_pes
-    occ = mrt._occ
-    moves = ctx.moves
-    used = bytearray(ii * num_pes)
-    path: list[int] = []
+    mt = ctx.moves_table(hint)
+    # visited-set seeded with the MRT occupancy bitmap (one C-speed copy),
+    # so the inner loop tests a single byte per candidate slot
+    used = bytearray(mrt._occ_mask)
+    # path[d]: the step-d PE of the current partial path; positions are
+    # overwritten on backtrack, and only read out along a successful chain
+    path: list[int] = [0] * hops
     budget = max_expansions
+    # bases[d]: flat MRT base for steps placed by the node at depth d
+    bases = [((t_src_eff + d + 1) % ii) * num_pes for d in range(hops)]
+    last = hops - 1  # depth whose children are the final (goal) steps
+    lastm1 = hops - 2
 
     def rec(p: int, j: int) -> bool:
         nonlocal budget
-        if budget <= 0:
+        base = bases[j]
+        if j == last:
+            # final step: children are leaves, test the goal inline (one
+            # budget unit per leaf visit, exactly like the recursive form)
+            for q in mt[p]:
+                idx = base + q
+                if used[idx]:
+                    continue
+                if min_dist[q] > 0:
+                    continue
+                if budget <= 0:
+                    return False
+                budget -= 1
+                if goal_mask[q]:
+                    path[last] = q
+                    return True
             return False
-        budget -= 1
-        if j == hops:
-            return goal_mask[p]
-        t = t_src_eff + j + 1
-        base = (t % ii) * num_pes
+        if j == lastm1:
+            # penultimate step: expand the final level inline too — the
+            # two deepest levels carry most of the visit volume, and this
+            # spares a Python call per penultimate-node visit.  Checks,
+            # budget accounting and child order are bit-for-bit the
+            # recursive form's.
+            base2 = bases[last]
+            for q in mt[p]:
+                idx = base + q
+                if used[idx]:
+                    continue
+                if min_dist[q] > 1:
+                    continue
+                if budget <= 0:
+                    return False
+                budget -= 1
+                used[idx] = 1
+                for r in mt[q]:
+                    idx2 = base2 + r
+                    if used[idx2]:
+                        continue
+                    if min_dist[r] > 0:
+                        continue
+                    if budget <= 0:
+                        used[idx] = 0
+                        return False
+                    budget -= 1
+                    if goal_mask[r]:
+                        path[lastm1] = q
+                        path[last] = r
+                        return True
+                used[idx] = 0
+            return False
         remaining = hops - j - 1
-        for q in moves(p, hint):
+        for q in mt[p]:
             idx = base + q
-            if used[idx] or occ[idx] is not None:
+            if used[idx]:
                 continue
             if min_dist[q] > remaining:
                 continue
+            if budget <= 0:
+                return False
+            budget -= 1
             used[idx] = 1
-            path.append(q)
+            path[j] = q
             if rec(q, j + 1):
                 return True
-            path.pop()
             used[idx] = 0
         return False
 
-    found = rec(src_id, 0)
+    found = False
+    if budget > 0:
+        budget -= 1  # visit the source node
+        found = rec(src_id, 0)
     COUNTERS.expansions += max_expansions - budget
     if not found:
         return None
@@ -419,12 +504,16 @@ def commit_route(
     mrt: ReservationTable, edge_id: int, steps: tuple[RouteStep, ...]
 ) -> None:
     """Claim every step's modulo slot in the reservation table."""
+    id_of = mrt.cgra.grid_index.id_of
+    claim = mrt.claim_id
     for s in steps:
-        mrt.claim(s.pe, s.time, f"route{edge_id}@{s.time}")
+        claim(id_of[s.pe], s.time, f"route{edge_id}@{s.time}")
 
 
 def release_route(
     mrt: ReservationTable, steps: tuple[RouteStep, ...]
 ) -> None:
+    id_of = mrt.cgra.grid_index.id_of
+    release = mrt.release_id
     for s in steps:
-        mrt.release(s.pe, s.time)
+        release(id_of[s.pe], s.time)

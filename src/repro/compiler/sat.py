@@ -1,0 +1,540 @@
+"""Compact CDCL SAT solver for the exact modulo-scheduling backend.
+
+A deliberately small, dependency-free conflict-driven clause-learning
+solver in the MiniSat lineage: two-watched-literal propagation, 1UIP
+conflict analysis with clause learning, VSIDS-style activity decisions,
+phase saving, and Luby restarts.  Everything is deterministic — decisions
+break activity ties on the lowest variable index and restarts follow the
+fixed Luby sequence — so a solve is a pure function of the clause set and
+the assumption list, which is what lets the exact backend participate in
+the portfolio engine's byte-identical canonical reduction.
+
+The API is DIMACS-flavoured: variables are positive integers from
+:meth:`Solver.new_var`, literals are ``±var``.  :meth:`Solver.solve`
+takes optional *assumptions* and an optional *conflict budget*; it
+returns ``True`` (SAT — read the model via :meth:`Solver.value`),
+``False`` (UNSAT — :meth:`Solver.unsat_core` holds the failed assumption
+subset), or ``None`` when the budget ran out before an answer.
+
+Cardinality helpers (:func:`add_at_most_one`, :func:`add_at_most_k`,
+:func:`add_exactly_one`) emit the sequential-counter (Sinz) encoding the
+CNF builder in :mod:`repro.compiler.exact` relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Solver",
+    "add_at_most_one",
+    "add_at_most_k",
+    "add_exactly_one",
+]
+
+_RESTART_BASE = 128  # conflicts per Luby unit
+
+
+def luby(i: int) -> int:
+    """The i-th term (0-based) of the Luby restart sequence
+    1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) >> 1
+        seq -= 1
+        i %= size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL solver over integer literals (``+v`` / ``-v``, ``v >= 1``)."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # per internal literal (2v / 2v+1): 1 true, -1 false, 0 unassigned
+        self._val: list[int] = [0, 0]
+        # per internal literal: clauses watching it
+        self._watches: list[list[list[int]]] = [[], []]
+        # per variable (1-based): decision level, reason clause, activity,
+        # saved phase, seen flag (conflict analysis scratch)
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._act: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._seen: list[int] = [0]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._order: list[tuple[float, int]] = []  # lazy max-heap entries
+        self._root_units: list[int] = []
+        self._clauses: list[list[int]] = []
+        self._learnts: list[tuple[list[int], int]] = []  # (clause, LBD)
+        self._max_learnts = 2000
+        self._ok = True
+        self._core: frozenset[int] = frozenset()
+        self.conflicts = 0
+        self.propagations = 0
+        self.restarts = 0
+
+    # -- problem construction --------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._val.extend((0, 0))
+        self._watches.extend(([], []))
+        self._level.append(0)
+        self._reason.append(None)
+        self._act.append(0.0)
+        self._phase.append(False)
+        self._seen.append(0)
+        return self.num_vars
+
+    def new_vars(self, n: int) -> list[int]:
+        return [self.new_var() for _ in range(n)]
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause of external literals.  Duplicate literals are
+        dropped and tautologies skipped; the empty clause marks the
+        instance unsatisfiable."""
+        seen: set[int] = set()
+        clause: list[int] = []
+        for ext in lits:
+            var = abs(ext)
+            if not 0 < var <= self.num_vars:
+                raise ValueError(f"unknown literal {ext}")
+            lit = (var << 1) | (ext < 0)
+            if lit ^ 1 in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._ok = False
+            return
+        if len(clause) == 1:
+            self._root_units.append(clause[0])
+            return
+        self._clauses.append(clause)
+        self._attach(clause)
+
+    def _attach(self, clause: list[int]) -> None:
+        self._watches[clause[0] ^ 1].append(clause)
+        self._watches[clause[1] ^ 1].append(clause)
+
+    # -- assignment / propagation ----------------------------------------------
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        val = self._val
+        if val[lit]:
+            return val[lit] > 0
+        val[lit] = 1
+        val[lit ^ 1] = -1
+        var = lit >> 1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Exhaust unit propagation; return a conflicting clause or None."""
+        val = self._val
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            neg = lit ^ 1
+            ws = watches[lit]
+            i = j = 0
+            n = len(ws)
+            while i < n:
+                c = ws[i]
+                i += 1
+                if c[0] == neg:
+                    c[0], c[1] = c[1], c[0]
+                first = c[0]
+                if val[first] > 0:
+                    ws[j] = c
+                    j += 1
+                    continue
+                found = False
+                for k in range(2, len(c)):
+                    lk = c[k]
+                    if val[lk] >= 0:
+                        c[1] = lk
+                        c[k] = neg
+                        watches[lk ^ 1].append(c)
+                        found = True
+                        break
+                if found:
+                    continue
+                ws[j] = c
+                j += 1
+                if val[first] < 0:
+                    while i < n:  # conflict: keep remaining watchers
+                        ws[j] = ws[i]
+                        j += 1
+                        i += 1
+                    del ws[j:]
+                    self._qhead = len(self._trail)
+                    return c
+                self._enqueue(first, c)
+            del ws[j:]
+        return None
+
+    # -- conflict analysis -----------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        act = self._act
+        act[var] += self._var_inc
+        if act[var] > 1e100:
+            inv = 1e-100
+            for v in range(1, self.num_vars + 1):
+                act[v] *= inv
+            self._var_inc *= inv
+            self._order = [
+                (act[v], v) for v in range(1, self.num_vars + 1)
+                if not self._val[v << 1]
+            ]
+
+            heapq.heapify(self._order)
+            return
+
+        heapq.heappush(self._order, (-act[var], var))
+
+    def _analyze(self, confl: list[int]) -> tuple[list[int], int]:
+        """1UIP learning.  Returns (learnt clause, backtrack level); the
+        asserting literal is learnt[0]."""
+        seen = self._seen
+        level = self._level
+        cur = len(self._trail_lim)
+        learnt: list[int] = []
+        path = 0
+        p = -1
+        index = len(self._trail)
+        cleanup: list[int] = []
+        while True:
+            start = 0 if p < 0 else 1
+            for q in confl[start:]:
+                v = q >> 1
+                if not seen[v] and level[v] > 0:
+                    seen[v] = 1
+                    cleanup.append(v)
+                    self._bump(v)
+                    if level[v] >= cur:
+                        path += 1
+                    else:
+                        learnt.append(q)
+            while True:
+                index -= 1
+                p = self._trail[index]
+                if seen[p >> 1]:
+                    break
+            path -= 1
+            seen[p >> 1] = 0
+            if path == 0:
+                break
+            confl = self._reason[p >> 1]  # type: ignore[assignment]
+        learnt.insert(0, p ^ 1)
+        for v in cleanup:
+            seen[v] = 0
+        if len(learnt) == 1:
+            return learnt, 0
+        # move a max-level literal to the second slot (watch invariant)
+        mi = max(range(1, len(learnt)), key=lambda i: level[learnt[i] >> 1])
+        learnt[1], learnt[mi] = learnt[mi], learnt[1]
+        return learnt, level[learnt[1] >> 1]
+
+    def _analyze_final(self, lit: int) -> frozenset[int]:
+        """Assumptions implying ``~lit`` (an UNSAT core over assumptions)."""
+        out = {self._to_ext(lit ^ 1)}
+        if not self._trail_lim:
+            return frozenset(out)
+        seen = self._seen
+        seen[lit >> 1] = 1
+        for tl in reversed(self._trail[self._trail_lim[0]:]):
+            v = tl >> 1
+            if not seen[v]:
+                continue
+            reason = self._reason[v]
+            if reason is None:
+                out.add(self._to_ext(tl))
+            else:
+                for q in reason[1:]:
+                    if self._level[q >> 1] > 0:
+                        seen[q >> 1] = 1
+            seen[v] = 0
+        seen[lit >> 1] = 0
+        return frozenset(out)
+
+    @staticmethod
+    def _to_ext(lit: int) -> int:
+        return -(lit >> 1) if lit & 1 else lit >> 1
+
+    # -- search ----------------------------------------------------------------
+
+    def _cancel_until(self, lvl: int) -> None:
+        if len(self._trail_lim) <= lvl:
+            return
+        val = self._val
+        bound = self._trail_lim[lvl]
+
+        for lit in reversed(self._trail[bound:]):
+            var = lit >> 1
+            val[lit] = 0
+            val[lit ^ 1] = 0
+            self._phase[var] = not lit & 1
+            self._reason[var] = None
+            heapq.heappush(self._order, (-self._act[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[lvl:]
+        self._qhead = len(self._trail)
+
+    def _decide(self) -> int | None:
+
+        order = self._order
+        val = self._val
+        act = self._act
+        while order:
+            negact, var = heapq.heappop(order)
+            if val[var << 1] == 0 and -negact == act[var]:
+                return (var << 1) | (not self._phase[var])
+        for var in range(1, self.num_vars + 1):
+            if val[var << 1] == 0:
+                return (var << 1) | (not self._phase[var])
+        return None
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_budget: int | None = None,
+    ) -> bool | None:
+        """Solve under *assumptions*; ``None`` when *conflict_budget*
+        conflicts pass without an answer (state remains reusable)."""
+        self._core = frozenset()
+        self._cancel_until(0)
+        if not self._ok:
+            return False
+        for lit in self._root_units:
+            if not self._enqueue(lit, None):
+                self._ok = False
+                return False
+        self._root_units.clear()
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+
+        self._order = [
+            (-self._act[v], v)
+            for v in range(1, self.num_vars + 1)
+            if self._val[v << 1] == 0
+        ]
+        heapq.heapify(self._order)
+        assume = [
+            (abs(a) << 1) | (a < 0) for a in assumptions
+        ]
+        for a in assumptions:
+            if not 0 < abs(a) <= self.num_vars:
+                raise ValueError(f"unknown assumption {a}")
+        spent = 0
+        restart_num = -1
+        while True:
+            restart_num += 1
+            limit = luby(restart_num) * _RESTART_BASE
+            res = self._search(assume, limit, conflict_budget, spent)
+            if res is not None:
+                return res
+            spent = self.conflicts
+            if conflict_budget is not None and spent >= conflict_budget:
+                self._cancel_until(0)
+                return None
+            self.restarts += 1
+            self._cancel_until(0)
+            if len(self._learnts) > self._max_learnts:
+                self._reduce_db()
+                if not self._ok:
+                    return False
+
+    def _search(
+        self,
+        assume: list[int],
+        limit: int,
+        budget: int | None,
+        spent_at_entry: int,
+    ) -> bool | None:
+        local_conflicts = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.conflicts += 1
+                local_conflicts += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return False
+                learnt, back = self._analyze(confl)
+                # never backtrack into the assumption prefix and lose an
+                # assumption: re-establishing happens in the decision loop
+                self._cancel_until(back)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._ok = False
+                        return False
+                else:
+                    levels = {self._level[q >> 1] for q in learnt}
+                    self._learnts.append((learnt, len(levels)))
+                    self._attach(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self._var_inc /= 0.95
+                if local_conflicts >= limit or (
+                    budget is not None and self.conflicts >= budget
+                ):
+                    return None  # restart / budget check in solve()
+                continue
+            lvl = len(self._trail_lim)
+            if lvl < len(assume):
+                a = assume[lvl]
+                if self._val[a] > 0:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if self._val[a] < 0:
+                    self._core = self._analyze_final(a ^ 1)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(a, None)
+                continue
+            lit = self._decide()
+            if lit is None:
+                return True
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    # -- clause-database management --------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Drop the less useful half of the learnt clauses (highest LBD,
+        then longest) and rebuild the watch lists.  Called at decision
+        level 0, where dropped clauses can never be a live reason."""
+        learnts = sorted(self._learnts, key=lambda cl: (cl[1], len(cl[0])))
+        keep = len(learnts) // 2
+        self._learnts = [
+            cl for i, cl in enumerate(learnts) if i < keep or cl[1] <= 2
+        ]
+        self._max_learnts = int(self._max_learnts * 1.3)
+        self._rebuild_watches()
+
+    def _rebuild_watches(self) -> None:
+        """Re-attach every clause, simplified against the root-level
+        assignment (satisfied clauses dropped, false literals stripped)."""
+        val = self._val
+        for lit in range(len(self._watches)):
+            self._watches[lit] = []
+        for var in range(1, self.num_vars + 1):
+            self._reason[var] = None
+
+        def scrub(clause: list[int]) -> list[int] | None:
+            if any(val[lit] > 0 for lit in clause):
+                return None  # satisfied forever
+            return [lit for lit in clause if val[lit] == 0]
+
+        kept_problem: list[list[int]] = []
+        for c in self._clauses:
+            lits = scrub(c)
+            if lits is None:
+                continue
+            if not lits:
+                self._ok = False
+                return
+            if len(lits) == 1:
+                self._enqueue(lits[0], None)
+                continue
+            kept_problem.append(lits)
+            self._attach(lits)
+        self._clauses = kept_problem
+        kept_learnt: list[tuple[list[int], int]] = []
+        for c, lbd in self._learnts:
+            lits = scrub(c)
+            if lits is None:
+                continue
+            if not lits:
+                self._ok = False
+                return
+            if len(lits) == 1:
+                self._enqueue(lits[0], None)
+                continue
+            kept_learnt.append((lits, lbd))
+            self._attach(lits)
+        self._learnts = kept_learnt
+
+    # -- results ---------------------------------------------------------------
+
+    def value(self, var: int) -> bool:
+        """Truth value of *var* in the last SAT model."""
+        return self._val[var << 1] > 0
+
+    def unsat_core(self) -> frozenset[int]:
+        """Failed assumptions of the last UNSAT answer (empty when the
+        clause set itself is unsatisfiable)."""
+        return self._core
+
+
+# -- cardinality encodings (sequential counter, Sinz 2005) ---------------------
+
+
+def add_at_most_one(solver: Solver, lits: Sequence[int]) -> None:
+    """AMO over *lits* via the sequential counter: n-1 aux vars, ~3n
+    binary clauses — linear, and unit propagation is arc-consistent."""
+    n = len(lits)
+    if n <= 1:
+        return
+    if n <= 4:  # pairwise is smaller below ~5 literals
+        for i in range(n):
+            for j in range(i + 1, n):
+                solver.add_clause((-lits[i], -lits[j]))
+        return
+    regs = solver.new_vars(n - 1)
+    solver.add_clause((-lits[0], regs[0]))
+    for i in range(1, n - 1):
+        solver.add_clause((-lits[i], regs[i]))
+        solver.add_clause((-regs[i - 1], regs[i]))
+        solver.add_clause((-lits[i], -regs[i - 1]))
+    solver.add_clause((-lits[n - 1], -regs[n - 2]))
+
+
+def add_at_most_k(solver: Solver, lits: Sequence[int], k: int) -> None:
+    """Cardinality ``sum(lits) <= k`` via the sequential counter."""
+    n = len(lits)
+    if k >= n:
+        return
+    if k <= 0:
+        for lit in lits:
+            solver.add_clause((-lit,))
+        return
+    if k == 1:
+        add_at_most_one(solver, lits)
+        return
+    # regs[j] after literal i: "at least j+1 of lits[0..i] are true"
+    prev = solver.new_vars(k)
+    solver.add_clause((-lits[0], prev[0]))
+    for j in range(1, k):
+        solver.add_clause((-prev[j],))
+    for i in range(1, n - 1):
+        regs = solver.new_vars(k)
+        solver.add_clause((-lits[i], regs[0]))
+        solver.add_clause((-prev[0], regs[0]))
+        for j in range(1, k):
+            solver.add_clause((-lits[i], -prev[j - 1], regs[j]))
+            solver.add_clause((-prev[j], regs[j]))
+        solver.add_clause((-lits[i], -prev[k - 1]))
+        prev = regs
+    solver.add_clause((-lits[n - 1], -prev[k - 1]))
+
+
+def add_exactly_one(solver: Solver, lits: Sequence[int]) -> None:
+    solver.add_clause(lits)
+    add_at_most_one(solver, lits)

@@ -156,8 +156,16 @@ class MapperSpec:
         runner drives.
         """
         cgra = self.build_cgra()
+        cls = EMSMapper
+        if self.config.backend == "exact":
+            # exact backend: flat ladder + SAT rung pruning.  Probe workers
+            # replay single lattice points, which ExactMapper inherits
+            # unchanged, so speculative probes never consult the solver.
+            from repro.compiler.exact import ExactMapper
+
+            cls = ExactMapper
         if self.page_shape is None:
-            return EMSMapper(cgra, config=self.config)
+            return cls(cgra, config=self.config)
         from repro.compiler.constraints import paged_bus_key, ring_hop_filter
         from repro.core.paging import PageLayout
 
@@ -172,7 +180,7 @@ class MapperSpec:
         mem_slots = (
             layout.num_pages * layout.shape[0] * cgra.mem_ports_per_row
         )
-        return EMSMapper(
+        return cls(
             cgra,
             allowed_pes=allowed,
             hop_allowed=ring_hop_filter(layout),
@@ -382,6 +390,7 @@ def portfolio_map(
     *,
     cgra: CGRA | None = None,
     min_ii: int | None = None,
+    resume_ii: int | None = None,
     ctx: SearchContext,
     log: list[LadderReport] | None = None,
 ) -> Mapping:
@@ -392,12 +401,22 @@ def portfolio_map(
     rung up to ``config.max_ii`` fails.  ``cgra`` rebinds the winning
     mapping (produced against a worker-side CGRA copy) to the caller's
     instance.  ``log`` collects this ladder's :class:`LadderReport`.
+
+    *resume_ii* carries the same ladder-memoization contract as
+    :meth:`~repro.compiler.ems.EMSMapper.map`: rungs below it were
+    already probed and failed in an identical context, so their lattice
+    ranks are marked resolved up front and never submitted.  Probe op
+    orders stay anchored at *start_ii* (indexed rng replay), so the
+    reduction is byte-identical to a full climb.
     """
     mapper = spec.build()
     start_ii = mapper.ladder_start_ii(dfg, min_ii=min_ii)
     cfg = spec.config
     per_ii = mapper.lattice_attempts_per_ii()
     n_ranks = (cfg.max_ii - start_ii + 1) * per_ii
+    skip_ranks = 0
+    if resume_ii is not None and resume_ii > start_ii:
+        skip_ranks = min(n_ranks, (resume_ii - start_ii) * per_ii)
     dfg_fp = dfg.fingerprint()
     report = LadderReport(start_ii=start_ii, attempts_per_ii=per_ii)
     SEARCH.ladders += 1
@@ -416,10 +435,15 @@ def portfolio_map(
         return (start_ii + rank // per_ii, rank % per_ii)
 
     inflight: dict[Future, int] = {}
-    outcome: dict[int, str] = {}  # rank -> success|fail|cancelled
+    outcome: dict[int, str] = {}  # rank -> success|fail|cancelled|skipped
     seconds: dict[int, float] = {}
     mappings: dict[int, Mapping] = {}
     best: int | None = None
+    for rank in range(skip_ranks):
+        outcome[rank] = "skipped"
+        seconds[rank] = 0.0
+    if skip_ranks:
+        COUNTERS.rungs_skipped += skip_ranks // per_ii
 
     def bound() -> int:
         # never submit at or above a landed success: canonical pruning
@@ -431,13 +455,15 @@ def portfolio_map(
         ii, attempt = point(rank)
         report.timeline.append([ii, attempt, verdict, round(secs, 4)])
 
-    next_rank = 0
+    next_rank = skip_ranks
     try:
         while True:
             if best is not None and all(r in outcome for r in range(best)):
                 break  # every lower rung resolved: canonical winner stands
             if next_rank >= bound() and not inflight:
-                raise MappingError(mapper.ladder_fail_message(dfg))
+                err = MappingError(mapper.ladder_fail_message(dfg))
+                err.ladder_probed = (start_ii, cfg.max_ii)
+                raise err
             while next_rank < bound() and len(inflight) < ctx.workers:
                 # first slot blocks (every ladder keeps moving); extras are
                 # speculative and only taken when the budget has idle slots

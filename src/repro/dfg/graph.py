@@ -101,6 +101,10 @@ class DFG:
     edges: dict[int, Edge] = field(default_factory=dict)
     _next_op: int = 0
     _next_edge: int = 0
+    # lazily-built per-op (in_edges, out_edges) tables; dropped on mutation
+    _adj: tuple[dict, dict] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- construction -------------------------------------------------------------
 
@@ -115,6 +119,7 @@ class DFG:
         op = Op(self._next_op, opcode, name=name, immediate=immediate, memref=memref)
         self.ops[op.id] = op
         self._next_op += 1
+        self._adj = None
         return op
 
     def add_edge(
@@ -148,6 +153,7 @@ class DFG:
         edge = Edge(self._next_edge, s, d, operand_index, distance, tuple(init))
         self.edges[edge.id] = edge
         self._next_edge += 1
+        self._adj = None
         return edge
 
     # -- queries --------------------------------------------------------------------
@@ -167,17 +173,37 @@ class DFG:
     def num_memory_ops(self) -> int:
         return sum(1 for op in self.ops.values() if op.is_memory)
 
-    def in_edges(self, op: Op | int) -> list[Edge]:
+    def _adjacency(self) -> tuple[dict, dict]:
+        """Per-op edge tables.  ``in`` lists are ordered exactly like the
+        historical scan (stable sort by operand index, edge id breaking
+        ties); ``out`` lists are in ascending edge id.  The mapper hits
+        these accessors millions of times per ladder, so the O(E) scan per
+        call is replaced by one O(E) build per graph mutation epoch."""
+        adj = self._adj
+        if adj is None:
+            ins: dict[int, list[Edge]] = {v: [] for v in self.ops}
+            outs: dict[int, list[Edge]] = {v: [] for v in self.ops}
+            for e in self.edges.values():
+                ins[e.dst].append(e)
+                outs[e.src].append(e)
+            adj = (
+                {
+                    v: tuple(sorted(lst, key=lambda e: e.operand_index))
+                    for v, lst in ins.items()
+                },
+                {v: tuple(lst) for v, lst in outs.items()},
+            )
+            self._adj = adj
+        return adj
+
+    def in_edges(self, op: Op | int) -> tuple[Edge, ...]:
         """Incoming edges of *op*, sorted by operand index."""
         d = op.id if isinstance(op, Op) else op
-        return sorted(
-            (e for e in self.edges.values() if e.dst == d),
-            key=lambda e: e.operand_index,
-        )
+        return self._adjacency()[0][d]
 
-    def out_edges(self, op: Op | int) -> list[Edge]:
+    def out_edges(self, op: Op | int) -> tuple[Edge, ...]:
         s = op.id if isinstance(op, Op) else op
-        return sorted((e for e in self.edges.values() if e.src == s), key=lambda e: e.id)
+        return self._adjacency()[1][s]
 
     def operands_bound(self, op: Op | int) -> bool:
         """All operand slots of *op* driven by an edge?"""

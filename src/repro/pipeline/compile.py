@@ -71,7 +71,8 @@ class CompileJob:
     heterogeneous fabric); by default the job builds the homogeneous
     ``size`` x ``size`` grid, which is fingerprint-identical to the
     ``"{size}x{size}"`` preset.  ``backend`` picks the paged mapping
-    strategy (``"flat"`` or ``"hier"``) when ``mapper`` is not given.
+    strategy (``"flat"``, ``"hier"`` or ``"exact"``) when ``mapper`` is
+    not given.
     """
 
     kernel: str

@@ -252,6 +252,26 @@ def test_time_shift_breaks_register_depth(committed):
     assert payload is not None, "no time shift produced a register-depth break"
 
 
+def test_lowered_ii_is_map_mii(committed):
+    """An II edited below the provable minimum trips MAP-MII — the one
+    rule that needs no mapping data, only the stored geometry — alongside
+    whatever slot/fold rules the now-overpacked schedule also breaks."""
+    victim = next(
+        a
+        for a in sorted(committed, key=lambda a: (len(a.placements), a.key.digest))
+        if not a.unmappable and a.ii_base > 1 and a.ii_paged > 1
+    )
+    payload = payload_of(victim)
+    payload["ii_base"] = 1
+    payload["ii_paged"] = 1
+    entry = _solo_audit(payload)
+    ids = {f.rule_id for f in entry.findings}
+    assert "MAP-MII" in ids
+    mii = [f for f in entry.findings if f.rule_id == "MAP-MII"]
+    assert any("base II 1" in f.message for f in mii)
+    assert any("paged II 1" in f.message for f in mii)
+
+
 # -- fold corruption -----------------------------------------------------------------
 
 

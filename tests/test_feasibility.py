@@ -1,0 +1,312 @@
+"""Soundness tests for the II feasibility prover and the exact backend.
+
+The prover's contract is one-sided: a bound or certificate may only rule
+out IIs at which **no** mapping exists, and the exact backend's SAT
+refutations may only prune ladder rungs the greedy attempts would have
+failed anyway.  Every test here attacks that direction — real mappings
+(the full kernel suite, plus every committed artifact) are replayed
+against the bounds, the CNF relaxation, and the pruning ladder, and none
+of them may ever be rejected.  The payoff of soundness is byte-stability:
+the exact backend must produce bit-for-bit the flat backend's mapping at
+any worker count, which the last test class checks end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.compiler.ems import EMSMapper, MapperConfig, map_dfg
+from repro.compiler.exact import (
+    ExactMapper,
+    encode_modulo_relaxation,
+    probe_rung,
+)
+from repro.compiler.feas import (
+    fanin_certificate,
+    ii_lower_bound,
+    max_distinct_fanin,
+    page_order_certificate,
+    prune_to,
+)
+from repro.compiler.stats import COUNTERS
+from repro.dfg.graph import DFG, MemRef
+from repro.arch.isa import Opcode
+from repro.kernels import get_kernel, kernel_names
+from repro.util.errors import MappingError
+
+REPO_STORE = Path(__file__).resolve().parents[1] / ".repro_artifacts"
+
+
+def base_bound(dfg, cgra):
+    return ii_lower_bound(
+        dfg,
+        num_pes=cgra.num_pes,
+        mem_slots=cgra.rows * cgra.mem_ports_per_row,
+        mem_capable_pes=cgra.num_pes,
+        max_ii=MapperConfig().max_ii,
+    )
+
+
+# ---------------------------------------------------------------- the bound
+
+
+class TestIIBound:
+    def test_ladder_starts_at_the_bound(self):
+        """Every backend's first rung is ii_lower_bound — the dedup that
+        keeps flat/hier/exact from drifting apart."""
+        cgra = CGRA(4, 4)
+        mapper = EMSMapper(cgra)
+        for name in kernel_names():
+            dfg = get_kernel(name).build()
+            assert mapper.ladder_start_ii(dfg) == base_bound(dfg, cgra).mii
+
+    def test_bound_never_exceeds_achieved_ii(self):
+        """Soundness over the whole suite: the mapper actually lands on an
+        II, so the provable lower bound must sit at or below it."""
+        cgra = CGRA(4, 4)
+        for name in kernel_names():
+            dfg = get_kernel(name).build()
+            mapping = map_dfg(dfg, cgra)
+            assert base_bound(dfg, cgra).mii <= mapping.ii, name
+
+    def test_binding_names_a_maximal_term(self):
+        for name in kernel_names():
+            bound = base_bound(get_kernel(name).build(), CGRA(4, 4))
+            assert getattr(bound, bound.binding()) == bound.mii
+
+    def test_mem_capability_term(self):
+        """A fabric with a single mem-capable PE floors the II at the
+        memory-op count, whatever the grid size."""
+        dfg = get_kernel("compress").build()
+        n_mem = dfg.num_memory_ops
+        assert n_mem > 1
+        bound = ii_lower_bound(
+            dfg, num_pes=64, mem_slots=64, mem_capable_pes=1, max_ii=64
+        )
+        assert bound.mem_cap_mii == n_mem
+        assert bound.mii >= n_mem
+
+    def test_empty_dfg_raises(self):
+        with pytest.raises(MappingError, match="no materialized ops"):
+            ii_lower_bound(
+                DFG("empty"), num_pes=4, mem_slots=1, mem_capable_pes=4, max_ii=8
+            )
+
+    def test_overfull_dfg_raises(self):
+        dfg = get_kernel("yuv2rgb").build()
+        with pytest.raises(MappingError, match="can never fit"):
+            ii_lower_bound(
+                dfg, num_pes=1, mem_slots=1, mem_capable_pes=1, max_ii=1
+            )
+
+    def test_memory_without_capability_raises(self):
+        dfg = get_kernel("compress").build()
+        with pytest.raises(MappingError, match="mem-capable PE"):
+            ii_lower_bound(
+                dfg, num_pes=16, mem_slots=4, mem_capable_pes=0, max_ii=32
+            )
+
+
+class TestCommittedStore:
+    """Replay the prover against every committed artifact: an II that a
+    mapper actually achieved (and that recompile-bytes pins) must never
+    sit below the bound — the MAP-MII audit rule's property, tested
+    directly on the store bytes."""
+
+    @pytest.mark.skipif(
+        not REPO_STORE.is_dir(), reason="committed artifact store not present"
+    )
+    def test_no_committed_ii_beats_the_bound(self):
+        from repro.analysis.audit import AuditEntry, _audit_mii
+        from repro.pipeline.artifact import CompiledKernel
+        from repro.pipeline.store import ArtifactStore
+
+        checked = 0
+        for path, is_artifact in ArtifactStore(REPO_STORE).walk():
+            if not is_artifact:
+                continue
+            artifact = CompiledKernel.from_json_dict(json.loads(path.read_bytes()))
+            if artifact.unmappable:
+                continue
+            dfg = get_kernel(artifact.kernel).build()
+            entry = AuditEntry(path=path.name, status="ok")
+            _audit_mii(entry, artifact, dfg)
+            assert entry.findings == [], [f.render() for f in entry.findings]
+            checked += 1
+        assert checked > 50
+
+
+# ------------------------------------------------------------- certificates
+
+
+def wide_fanin_dfg() -> DFG:
+    """A SELECT fed by three distinct loads: distinct routed fan-in 3."""
+    dfg = DFG("fanin3")
+    loads = [
+        dfg.add_op(Opcode.LOAD, memref=MemRef(a)) for a in ("a", "b", "c")
+    ]
+    sel = dfg.add_op(Opcode.SELECT)
+    for i, ld in enumerate(loads):
+        dfg.add_edge(ld, sel, i)
+    store = dfg.add_op(Opcode.STORE, memref=MemRef("out"))
+    dfg.add_edge(sel, store, 0)
+    return dfg
+
+
+class TestCertificates:
+    def test_fanin_counts_distinct_non_const_sources(self):
+        dfg = wide_fanin_dfg()
+        assert max_distinct_fanin(dfg) == 3
+        # CONST operands and duplicate producers don't count
+        dup = DFG("dup")
+        c = dup.add_op(Opcode.CONST, immediate=7)
+        x = dup.add_op(Opcode.LOAD, memref=MemRef("a"))
+        add = dup.add_op(Opcode.ADD)
+        dup.add_edge(c, add, 0)
+        dup.add_edge(x, add, 1)
+        mul = dup.add_op(Opcode.MUL)
+        dup.add_edge(add, mul, 0)
+        dup.add_edge(add, mul, 1)  # both operands are the same value
+        assert max_distinct_fanin(dup) == 1
+
+    def test_fanin_certificate_fires_only_on_narrow_fabrics(self):
+        dfg = wide_fanin_dfg()
+        assert fanin_certificate(dfg, [2, 2]) is not None
+        assert fanin_certificate(dfg, [2, 3]) is None
+
+    def test_fanin_certificate_passes_the_suite(self):
+        """The paper's kernels must never be refuted on the 4x4 mesh."""
+        mapper = EMSMapper(CGRA(4, 4))
+        arr_sizes = [len(a) for a in mapper._arr_ids]
+        for name in kernel_names():
+            assert fanin_certificate(get_kernel(name).build(), arr_sizes) is None
+
+    def test_page_order_certificate(self):
+        domains = {0: frozenset({2}), 1: frozenset({0, 1})}
+        edges = [(0, 1)]
+        assert page_order_certificate(edges, domains, allow_wrap=True) is None
+        assert page_order_certificate(edges, domains, allow_wrap=False)
+        # forward (or overlapping) traffic is fine
+        fwd = {0: frozenset({0, 1}), 1: frozenset({1})}
+        assert page_order_certificate(edges, fwd, allow_wrap=False) is None
+        # unconstrained ops never trigger
+        assert page_order_certificate([(0, 9)], domains, allow_wrap=False) is None
+
+    def test_prune_to_counts_rungs(self):
+        before = COUNTERS.snapshot()
+        assert prune_to(3, 6) == 6
+        assert prune_to(6, 3) == 6
+        assert COUNTERS.delta(before)["rungs_pruned"] == 3
+
+
+# ------------------------------------------------------- the SAT relaxation
+
+
+class TestRelaxation:
+    def test_relaxation_admits_real_mappings(self):
+        """The soundness keystone: the assignment induced by an *actual*
+        mapping — op placements assumed at their (PE, slot) — must
+        satisfy the CNF for every suite kernel.  If this breaks, an UNSAT
+        verdict no longer certifies infeasibility."""
+        cgra = CGRA(4, 4)
+        id_of = cgra.grid_index.id_of
+        mapper = EMSMapper(cgra)
+        for name in kernel_names():
+            dfg = get_kernel(name).build()
+            mapping = map_dfg(dfg, cgra)
+            solver, X = encode_modulo_relaxation(mapper, dfg, mapping.ii)
+            assume = []
+            for op_id, pl in mapping.placements.items():
+                assert op_id in X, (name, op_id)
+                var = X[op_id].get((id_of[pl.pe], pl.time % mapping.ii))
+                assert var is not None, (name, op_id, "outside capability domain")
+                assume.append(var)
+            assert solver.solve(assume) is True, name
+
+    def test_probe_refutes_resource_pigeonhole(self):
+        """A kernel with more ops than (PE, slot) pairs is a pigeonhole
+        the solver must close (the certificate that prunes rungs): mpeg
+        has 10 materialized ops, a 2x2 grid at II 2 offers 8 slots."""
+        mapper = EMSMapper(CGRA(2, 2))
+        dfg = get_kernel("mpeg").build()
+        for ii in (1, 2):
+            assert probe_rung(mapper, dfg, ii, conflict_budget=10_000) is False
+
+    def test_probe_accepts_the_achieved_ii(self):
+        cgra = CGRA(4, 4)
+        mapper = EMSMapper(cgra)
+        for name in ("mpeg", "swim", "lowpass"):
+            dfg = get_kernel(name).build()
+            mapping = map_dfg(dfg, cgra)
+            assert probe_rung(
+                mapper, dfg, mapping.ii, conflict_budget=50_000
+            ) is True, name
+
+
+# ----------------------------------------------------------- exact backend
+
+
+class TestExactBackend:
+    def test_config_accepts_exact_and_rejects_unknown(self):
+        assert MapperConfig(backend="exact").backend == "exact"
+        with pytest.raises(Exception):
+            MapperConfig(backend="smt")
+
+    def test_backend_is_fingerprinted(self):
+        assert (
+            MapperConfig(backend="exact").fingerprint()
+            != MapperConfig().fingerprint()
+        )
+
+    def test_exact_ladder_never_prunes_the_winning_rung(self):
+        """ExactMapper must land on the flat ladder's II with identical
+        placements and routes — pruning is only ever of dead rungs."""
+        cgra = CGRA(4, 4)
+        for name in ("mpeg", "compress", "gsr", "sor"):
+            dfg = get_kernel(name).build()
+            flat = EMSMapper(cgra).map(dfg)
+            exact = ExactMapper(cgra, config=MapperConfig(backend="exact")).map(dfg)
+            assert exact.ii == flat.ii, name
+            assert exact.placements == flat.placements, name
+            assert exact.routes == flat.routes, name
+
+    def test_exact_artifacts_match_flat_bytes(self):
+        """End to end through the paged pipeline: same payload as flat,
+        differing only in the mapper fingerprint (by design — the backend
+        is part of the artifact address)."""
+        from repro.pipeline.compile import CompileJob, compile_job
+
+        before = COUNTERS.snapshot()
+        for kernel in ("mpeg", "compress", "gsr"):
+            flat, _ = compile_job(CompileJob(kernel, 4, 2, seed=0))
+            exact, _ = compile_job(
+                CompileJob(kernel, 4, 2, seed=0, backend="exact")
+            )
+            fd, ed = flat.to_json_dict(), exact.to_json_dict()
+            assert fd.pop("mapper_fp") != ed.pop("mapper_fp")
+            assert fd == ed, kernel
+        delta = COUNTERS.delta(before)
+        # the probes engaged and at least one rung was actually refuted
+        # (compress and gsr both have provably-dead rungs on 2x2 pages)
+        assert delta["exact_probes"] > 0
+        assert delta["exact_wins"] >= 2
+        assert delta["rungs_pruned"] >= delta["exact_wins"]
+
+    def test_exact_backend_worker_parity(self, tmp_path):
+        """workers in {1, 2, 4} must produce byte-identical exact-backend
+        artifacts: speculative probes replay lattice points and never
+        consult the solver, so worker count is unobservable."""
+        from repro.pipeline.compile import CompileJob, compile_many
+        from repro.pipeline.store import ArtifactStore
+
+        job = CompileJob("compress", 4, 2, seed=0, backend="exact")
+        payloads = []
+        for w in (1, 2, 4):
+            store = ArtifactStore(tmp_path / f"w{w}")
+            (artifact,) = compile_many([job], store=store, workers=w)
+            payloads.append(artifact.to_json())
+        assert payloads[0] == payloads[1] == payloads[2]
