@@ -1,4 +1,4 @@
-"""``python -m repro.analysis`` — the CI entry point for both passes.
+"""``python -m repro.analysis`` — the CI entry point for all three passes.
 
 Subcommands:
 
@@ -6,7 +6,10 @@ Subcommands:
   (default: the installed ``repro`` package);
 * ``audit [--store PATH]`` — run the artifact auditor over a store
   (default: the standard ``.repro_artifacts`` location);
-* ``all`` — both passes, combined report, worst exit code wins;
+* ``flow [--root PATH] [--summaries]`` — interprocedural effect &
+  concurrency analysis over the whole package (``--summaries`` dumps the
+  per-function effect summaries as JSON);
+* ``all`` — every pass, combined report, worst exit code wins;
 * ``rules`` — print the rule catalogue.
 
 ``--json`` switches to the machine-readable report, ``--strict`` makes
@@ -45,7 +48,7 @@ def _parser() -> argparse.ArgumentParser:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="determinism lint + independent artifact auditor",
+        description="determinism lint + artifact auditor + flow analysis",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -69,8 +72,25 @@ def _parser() -> argparse.ArgumentParser:
         help="store root (default: .repro_artifacts / $REPRO_CACHE_DIR)",
     )
 
+    flow = sub.add_parser(
+        "flow",
+        parents=[common],
+        help="interprocedural effect & concurrency analysis",
+    )
+    flow.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to analyze (default: the repro package)",
+    )
+    flow.add_argument(
+        "--summaries",
+        action="store_true",
+        help="dump per-function effect summaries as JSON and exit",
+    )
+
     both = sub.add_parser(
-        "all", parents=[common], help="lint + audit, worst exit code wins"
+        "all", parents=[common], help="all passes, worst exit code wins"
     )
     both.add_argument("--root", type=Path, default=None)
     both.add_argument("--store", type=Path, default=None)
@@ -94,6 +114,20 @@ def _run_audit(store: Path | None) -> tuple[list[Finding], dict, str]:
         raise FileNotFoundError(f"artifact store {store} does not exist")
     report = audit_store(store)
     return report.findings, {"audit": report.as_record()}, report.summary()
+
+
+def _run_flow(root: Path | None) -> tuple[list[Finding], dict, str]:
+    from repro.analysis.flow import analyze_tree
+
+    if root is not None and not root.exists():
+        raise FileNotFoundError(f"flow root {root} does not exist")
+    report = analyze_tree(root)
+    stats = report.stats()
+    summary = (
+        f"flow: {stats['functions']} functions / {stats['modules']} modules, "
+        f"{stats['roots']} concurrency roots, {stats['findings']} findings"
+    )
+    return report.findings, {"flow": stats}, summary
 
 
 def _print_rules(as_json: bool) -> int:
@@ -125,10 +159,26 @@ def _print_rules(as_json: bool) -> int:
     return 0
 
 
+def _print_summaries(root: Path | None) -> int:
+    import json
+
+    from repro.analysis.flow import analyze_tree
+
+    if root is not None and not root.exists():
+        print(f"repro.analysis: fatal: flow root {root} does not exist",
+              file=sys.stderr)
+        return EXIT_FATAL
+    report = analyze_tree(root)
+    print(json.dumps(report.summary_records(), indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "rules":
         return _print_rules(args.json)
+    if args.command == "flow" and args.summaries:
+        return _print_summaries(args.root)
 
     findings: list[Finding] = []
     payload: dict = {}
@@ -140,6 +190,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             audit_findings, audit_payload, summary = _run_audit(args.store)
             findings.extend(audit_findings)
             payload.update(audit_payload)
+            extra.append(summary)
+        if args.command in ("flow", "all"):
+            flow_findings, flow_payload, summary = _run_flow(args.root)
+            findings.extend(flow_findings)
+            payload.update(flow_payload)
             extra.append(summary)
     except (FileNotFoundError, NotADirectoryError, PermissionError) as exc:
         print(f"repro.analysis: fatal: {exc}", file=sys.stderr)

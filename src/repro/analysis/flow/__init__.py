@@ -1,0 +1,127 @@
+"""Pass 3 — interprocedural effect & concurrency analysis (``flow``).
+
+Where the lint (pass 1) judges one file at a time and the audit (pass 2)
+judges committed artifacts, the flow pass judges the *program*: it builds
+a whole-project call graph (:mod:`.callgraph`), infers per-function effect
+summaries bottom-up over its SCC condensation (:mod:`.effects`), then
+checks two things against them — that no mutable module global is written
+racily from concurrent roots (:mod:`.concurrency`), and that every
+declared determinism contract's entrypoints stay inside their effect
+budget (:mod:`.contracts`).
+
+Findings ride the same machinery as the other passes: the shared
+:class:`~repro.analysis.findings.Finding` model, ``# repro:
+allow[RULE-ID] reason`` suppressions (flow owns the stale-suppression
+check for flow-only rule ids; the lint owns reason/unknown-id hygiene and
+skips flow ids in its unused check), the text/JSON reporters, and the
+0/1/2 CLI exit contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.callgraph import CallGraph, build_callgraph
+from repro.analysis.flow.concurrency import Root, check_races, find_roots
+from repro.analysis.flow.contracts import Contract, check_contracts
+from repro.analysis.flow.effects import EffectSummary, infer_effects
+from repro.analysis.registry import flow_rule_ids
+from repro.analysis.suppressions import Suppression, parse_suppressions
+
+__all__ = ["FlowReport", "analyze_tree"]
+
+
+@dataclass
+class FlowReport:
+    """Everything one flow run produced."""
+
+    findings: list[Finding]
+    graph: CallGraph
+    summaries: dict[str, EffectSummary]
+    roots: list[Root]
+
+    def summary_records(self) -> dict:
+        """The ``--summaries`` payload: per-function effect summaries,
+        canonically ordered and JSON-ready."""
+        return {
+            qual: self.summaries[qual].as_record()
+            for qual in sorted(self.summaries)
+        }
+
+    def stats(self) -> dict:
+        return {
+            "modules": len(self.graph.modules),
+            "functions": len(self.graph.functions),
+            "globals": len(self.graph.globals),
+            "roots": len(self.roots),
+            "findings": len(self.findings),
+        }
+
+
+def _apply_suppressions(
+    graph: CallGraph, raw: list[Finding]
+) -> list[Finding]:
+    """Filter findings through reasoned ``allow[]`` comments, then report
+    stale flow-only suppressions (the lint's unused check skips them)."""
+    flow_ids = flow_rule_ids()
+    sups_by_display: dict[str, list[Suppression]] = {}
+    for name in sorted(graph.modules):
+        info = graph.modules[name]
+        sups_by_display[info.display] = parse_suppressions(info.source)
+
+    kept: list[Finding] = []
+    for f in raw:
+        covering = [
+            s
+            for s in sups_by_display.get(f.file, [])
+            if s.target_line == f.line and s.covers(f.rule_id)
+        ]
+        valid = [s for s in covering if s.reason]
+        if valid:
+            for s in valid:
+                s.used = True
+            continue
+        for s in covering:  # aimed, but reason-less: lint reports SUP-REASON
+            s.used = True
+        kept.append(f)
+
+    for display in sorted(sups_by_display):
+        for s in sups_by_display[display]:
+            if not s.reason or s.used or not s.rule_ids:
+                continue
+            if all(rid in flow_ids for rid in s.rule_ids):
+                kept.append(
+                    Finding(
+                        file=display,
+                        line=s.comment_line,
+                        col=0,
+                        rule_id="SUP-UNUSED",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"allow[{', '.join(s.rule_ids)}] matched no "
+                            "flow finding"
+                        ),
+                        fix_hint="delete the stale # repro: allow[...] comment",
+                    )
+                )
+    return sorted(kept)
+
+
+def analyze_tree(
+    root: Path | None = None,
+    contracts: tuple[Contract, ...] | None = None,
+) -> FlowReport:
+    """Run the full flow pass over the package at *root* (default: the
+    installed ``repro`` tree).  Unparseable modules are skipped here —
+    pass 1 owns the parse-error finding."""
+    graph = build_callgraph(root)
+    summaries = infer_effects(graph)
+    roots = find_roots(graph)
+    raw = check_races(graph, summaries, roots)
+    raw.extend(check_contracts(graph, summaries, contracts))
+    findings = _apply_suppressions(graph, raw)
+    return FlowReport(
+        findings=findings, graph=graph, summaries=summaries, roots=roots
+    )

@@ -1,0 +1,192 @@
+"""Declared determinism contracts, checked against inferred effects.
+
+A :class:`Contract` names a set of entrypoints — concurrent worker
+functions, fingerprint/canonicalization choke points — and the effect
+budget everything transitively reachable from them may spend.  The flow
+pass checks each entrypoint's :class:`~repro.analysis.flow.effects
+.EffectSummary` against that budget and fires **FLOW-CONTRACT** for every
+effect outside it, printing the witness call chain (who introduced the
+effect, through which calls it reached the entrypoint).
+
+This is the static counterpart of the recompile-parity tests: parity
+catches a broken determinism contract *after* the fact on the workloads it
+happens to compile; the contract check proves the absence of whole effect
+classes (hidden RNG, wall-clock, unsanctioned global mutation) on *every*
+path through the entrypoints, including paths no test exercises.  Neither
+subsumes the other — the analysis is alias-unaware and trusts its external
+hazard tables, so parity stays the oracle (DESIGN.md §12).
+
+Contracts are declared here, in code, so a new concurrent entrypoint has
+to either register a contract or show up as uncovered in review — the
+registry is the checklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.effects import EffectSummary
+from repro.analysis.registry import Rule, register
+
+__all__ = ["FLOW_CONTRACT", "Contract", "DEFAULT_CONTRACTS", "check_contracts"]
+
+
+FLOW_CONTRACT = register(
+    Rule(
+        id="FLOW-CONTRACT",
+        kind="flow",
+        severity=Severity.ERROR,
+        summary="entrypoint reaches an effect outside its declared "
+        "determinism contract",
+        fix_hint="remove the effect, route it through a sanctioned channel "
+        "(explicit seed, task payload, locked merge), or extend the "
+        "contract in analysis/flow/contracts.py with a justification",
+    )
+)
+
+
+@dataclass(frozen=True)
+class Contract:
+    """The effect budget for a family of entrypoints.
+
+    ``allow_effects`` whitelists lattice elements wholesale
+    (``"reads-global"`` permits reading any mutable global;
+    ``"mutates-param"`` permits in-place argument mutation).
+    ``allow_global_writes`` whitelists *specific* globals for writing —
+    writes to anything else violate the contract even if locked.
+    """
+
+    name: str
+    entrypoints: tuple[str, ...]
+    description: str
+    allow_effects: frozenset[str] = frozenset()
+    allow_global_writes: frozenset[str] = frozenset()
+    allow_global_reads: frozenset[str] = field(default_factory=frozenset)
+
+    def permits_read(self, g: str) -> bool:
+        return "reads-global" in self.allow_effects or g in self.allow_global_reads
+
+
+#: Sanctioned side channels of the compile pipeline: the process-wide stat
+#: totals (merged under ``stats._MERGE_LOCK``) and the per-process probe
+#: context cache.  Everything else a worker touches must arrive through
+#: its task payload.
+_STATS_CHANNEL = frozenset(
+    {
+        "repro.compiler.stats.COUNTERS",
+        "repro.compiler.stats.SEARCH",
+    }
+)
+
+DEFAULT_CONTRACTS: tuple[Contract, ...] = (
+    Contract(
+        name="probe-worker",
+        entrypoints=("repro.compiler.search.run_probe",),
+        description="process-pool probe workers: results must be a pure "
+        "function of the task payload; per-process scratch (stat totals, "
+        "the context cache) never flows back except as explicit counter "
+        "deltas in the result",
+        allow_effects=frozenset({"mutates-param", "reads-global"}),
+        allow_global_writes=_STATS_CHANNEL
+        | frozenset({"repro.compiler.search._CTX_CACHE"}),
+    ),
+    Contract(
+        name="compile-job",
+        entrypoints=(
+            "repro.pipeline.compile.compile_job",
+            "repro.pipeline.compile.compile_job_stats",
+        ),
+        description="concurrent compile-thread jobs: artifact bytes must "
+        "depend only on the job spec; stat totals merge through the locked "
+        "job-counter context",
+        allow_effects=frozenset({"mutates-param", "reads-global"}),
+        allow_global_writes=_STATS_CHANNEL
+        | frozenset({"repro.compiler.search._CTX_CACHE"}),
+    ),
+    Contract(
+        name="fingerprint",
+        entrypoints=("repro.util.fingerprint.canonical_fingerprint",),
+        description="the content-addressing choke point: strictly pure — "
+        "no I/O, no clock, no RNG, no global or argument mutation",
+        allow_effects=frozenset(),
+    ),
+)
+
+
+def check_contracts(
+    graph: CallGraph,
+    summaries: dict[str, EffectSummary],
+    contracts: tuple[Contract, ...] | None = None,
+) -> list[Finding]:
+    contracts = DEFAULT_CONTRACTS if contracts is None else contracts
+    findings: list[Finding] = []
+    for contract in contracts:
+        for entry in contract.entrypoints:
+            fn = graph.functions.get(entry)
+            summ = summaries.get(entry)
+            if fn is None or summ is None:
+                findings.append(
+                    Finding(
+                        file=f"<contract {contract.name}>",
+                        line=0,
+                        col=0,
+                        rule_id=FLOW_CONTRACT.id,
+                        severity=FLOW_CONTRACT.severity,
+                        message=(
+                            f"declared entrypoint `{entry}` does not exist "
+                            "in the call graph — the contract registry is "
+                            "stale"
+                        ),
+                        fix_hint="update the entrypoint list in "
+                        "analysis/flow/contracts.py",
+                    )
+                )
+                continue
+            violations: list[str] = []
+            for hazard in sorted(summ.hazards):
+                if hazard in contract.allow_effects:
+                    continue
+                wit = summ.witness_for(hazard)
+                violations.append(
+                    f"{hazard}: {wit.chain() if wit else 'no witness'}"
+                )
+            for g in sorted(summ.writes):
+                if g in contract.allow_global_writes:
+                    continue
+                wit = summ.witness_for(f"write:{g}")
+                violations.append(
+                    f"mutates-global {g}: {wit.chain() if wit else 'no witness'}"
+                )
+            for g in sorted(summ.reads):
+                if contract.permits_read(g):
+                    continue
+                wit = summ.witness_for(f"read:{g}")
+                violations.append(
+                    f"reads-global {g}: {wit.chain() if wit else 'no witness'}"
+                )
+            if "mutates-param" not in contract.allow_effects:
+                for p in sorted(summ.mutated_params):
+                    wit = summ.witness_for(f"param:{p}")
+                    violations.append(
+                        f"mutates-param {p}: "
+                        f"{wit.chain() if wit else 'no witness'}"
+                    )
+            for violation in violations:
+                findings.append(
+                    Finding(
+                        file=fn.display,
+                        line=fn.lineno,
+                        col=0,
+                        rule_id=FLOW_CONTRACT.id,
+                        severity=FLOW_CONTRACT.severity,
+                        message=(
+                            f"contract `{contract.name}` entrypoint "
+                            f"`{fn.name}` reaches effect outside its budget "
+                            f"— {violation}"
+                        ),
+                        fix_hint=FLOW_CONTRACT.fix_hint,
+                    )
+                )
+    return findings

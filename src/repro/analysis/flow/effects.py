@@ -1,0 +1,599 @@
+"""Bottom-up interprocedural effect inference over the call graph.
+
+Each function gets an :class:`EffectSummary` drawn from a small effect
+lattice:
+
+* ``mutates-global`` — writes a module-level variable (rebinding through a
+  ``global`` statement, attribute/subscript stores, in-place container
+  methods, or mutating a parameter that a call site bound to a global);
+* ``reads-global`` — reads a *mutable* module-level variable;
+* ``mutates-param`` — mutates one of its own parameters in place;
+* ``unseeded-rng`` — draws from hidden/entropy-seeded RNG state;
+* ``wall-clock`` — observes wall-clock time or process identity;
+* ``io`` — touches the filesystem, streams, or subprocesses;
+* ``nondet-iter`` — iterates an unordered set directly.
+
+Direct effects come from one AST pass per function (reusing the call
+graph's scope resolution); transitive effects are propagated bottom-up
+over the condensation of the call graph — Tarjan emits strongly-connected
+components callee-first, and mutually-recursive components are iterated to
+a fixpoint (the lattice is finite and the transfer function monotone, so
+this terminates).  Every inherited effect carries a *witness*: the source
+site that introduced it plus the call chain it travelled, so a contract
+violation can print exactly why.
+
+The analysis is alias-unaware by design: mutating the object returned by a
+function call (``counters().x += 1``) is not recognised as a global write.
+That boundary is documented in DESIGN.md §12 and is exactly why the
+counter hot paths fetch-and-increment through an accessor — the accessor
+pattern is the *fix* the race rule steers code toward.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.callgraph import (
+    MUTATING_METHODS,
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    Resolution,
+    _FunctionLinker,
+)
+from repro.analysis.rules.randomness import (
+    _NUMPY_SEED_REQUIRED,
+    _NUMPY_SEEDED_API,
+    _has_explicit_seed,
+)
+
+__all__ = [
+    "HAZARD_EFFECTS",
+    "ALL_EFFECTS",
+    "Witness",
+    "WriteSite",
+    "EffectSummary",
+    "infer_effects",
+]
+
+#: Effects introduced by calls out of the project (leaf hazards).
+HAZARD_EFFECTS = ("unseeded-rng", "wall-clock", "io", "nondet-iter")
+
+#: The full lattice, for documentation and the ``rules`` listing.
+ALL_EFFECTS = (
+    "mutates-global",
+    "reads-global",
+    "mutates-param",
+) + HAZARD_EFFECTS
+
+#: External callables that observe wall-clock time or process identity.
+#: ``perf_counter``/``monotonic``/``process_time`` are deliberately absent:
+#: they are legitimate for *measuring* and never shape artifact bytes.
+_WALL_CLOCK_TARGETS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.asctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.getpid",
+        "os.getppid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: External callables that do filesystem / stream / subprocess I/O.
+_IO_TARGETS = frozenset(
+    {
+        "open",
+        "input",
+        "print",
+        "os.listdir",
+        "os.scandir",
+        "os.walk",
+        "os.remove",
+        "os.replace",
+        "os.rename",
+        "os.makedirs",
+        "os.mkdir",
+        "os.rmdir",
+        "os.unlink",
+        "os.chdir",
+    }
+)
+
+_IO_PREFIXES = ("shutil.", "tempfile.", "subprocess.")
+
+#: Attribute-call names that read or write files on pathlib-ish receivers.
+#: ``replace`` is deliberately absent (``str.replace`` collision).
+_IO_METHODS = frozenset(
+    {
+        "write_text",
+        "write_bytes",
+        "read_text",
+        "read_bytes",
+        "mkdir",
+        "rmdir",
+        "unlink",
+        "touch",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Why a summary carries an effect: the introducing site and the call
+    chain (outermost first) the effect travelled to reach this function."""
+
+    display: str
+    line: int
+    detail: str
+    via: tuple[str, ...] = ()
+
+    def chain(self) -> str:
+        path = " -> ".join(self.via) if self.via else ""
+        site = f"{self.display}:{self.line}: {self.detail}"
+        return f"{path} ({site})" if path else site
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One *direct* store to a module global inside a function body (the
+    anchor the race rules report and suppressions target)."""
+
+    display: str
+    line: int
+    locked: bool
+    detail: str
+
+
+@dataclass
+class EffectSummary:
+    """The inferred effect set of one function, with provenance."""
+
+    qualname: str
+    writes: dict[str, bool] = field(default_factory=dict)  # global -> all locked
+    reads: set[str] = field(default_factory=set)
+    mutated_params: set[str] = field(default_factory=set)
+    hazards: set[str] = field(default_factory=set)
+    witnesses: dict[str, Witness] = field(default_factory=dict)
+    #: direct stores only (this body), per global — race-rule anchors
+    write_sites: dict[str, list[WriteSite]] = field(default_factory=dict)
+
+    @property
+    def effects(self) -> set[str]:
+        out = set(self.hazards)
+        if self.writes:
+            out.add("mutates-global")
+        if self.reads:
+            out.add("reads-global")
+        if self.mutated_params:
+            out.add("mutates-param")
+        return out
+
+    def witness_for(self, key: str) -> Witness | None:
+        return self.witnesses.get(key)
+
+    def _note(self, key: str, witness: Witness) -> None:
+        self.witnesses.setdefault(key, witness)
+
+    def add_write(self, g: str, locked: bool, witness: Witness,
+                  site: WriteSite | None = None) -> bool:
+        changed = False
+        prev = self.writes.get(g)
+        if prev is None:
+            self.writes[g] = locked
+            changed = True
+        elif prev and not locked:
+            self.writes[g] = False
+            changed = True
+        self._note(f"write:{g}", witness)
+        if site is not None:
+            sites = self.write_sites.setdefault(g, [])
+            if site not in sites:
+                sites.append(site)
+                changed = True
+        return changed
+
+    def add_read(self, g: str, witness: Witness) -> bool:
+        if g in self.reads:
+            return False
+        self.reads.add(g)
+        self._note(f"read:{g}", witness)
+        return True
+
+    def add_param(self, p: str, witness: Witness) -> bool:
+        if p in self.mutated_params:
+            return False
+        self.mutated_params.add(p)
+        self._note(f"param:{p}", witness)
+        return True
+
+    def add_hazard(self, name: str, witness: Witness) -> bool:
+        if name in self.hazards:
+            return False
+        self.hazards.add(name)
+        self._note(name, witness)
+        return True
+
+    def as_record(self) -> dict:
+        return {
+            "effects": sorted(self.effects),
+            "writes": {
+                g: {"locked": locked}
+                for g, locked in sorted(self.writes.items())
+            },
+            "reads": sorted(self.reads),
+            "mutated_params": sorted(self.mutated_params),
+            "witnesses": {
+                k: {
+                    "site": f"{w.display}:{w.line}",
+                    "detail": w.detail,
+                    "via": list(w.via),
+                }
+                for k, w in sorted(self.witnesses.items())
+            },
+        }
+
+
+# ------------------------------------------------------------ direct effects
+
+
+def _store_root(node: ast.AST) -> tuple[ast.AST, int]:
+    """Peel attribute/subscript layers off a store target; returns the root
+    expression and how many layers were peeled."""
+    depth = 0
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+        depth += 1
+    return node, depth
+
+
+class _DirectEffects(_FunctionLinker):
+    """Second pass over one function body: same scope resolution as the
+    linker, but records stores and mutable-global reads instead of call
+    sites (those are already on the node)."""
+
+    def __init__(self, graph: CallGraph, fn: FunctionNode, summary: EffectSummary):
+        super().__init__(graph, graph.modules[fn.module], fn)
+        self.summary = summary
+
+    def visit_Call(self, node: ast.Call) -> None:  # calls already linked
+        self.generic_visit(node)
+
+    # -- stores ---------------------------------------------------------------
+
+    def _record_store(self, target: ast.AST, lineno: int, detail: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, lineno, detail)
+            return
+        root, depth = _store_root(target)
+        if not isinstance(root, ast.Name):
+            return
+        name = root.id
+        if depth == 0:
+            # plain-name (re)binding: a global write only under `global`
+            if name not in self.global_decls:
+                return
+            qual = self.info.globals.get(name, f"{self.info.name}.{name}")
+            self._global_store(qual, lineno, detail)
+            return
+        res = self.resolve_name(name)
+        if res.kind == "param":
+            self.summary.add_param(
+                res.ref,
+                Witness(self.fn.display, lineno, detail, (self.fn.qualname,)),
+            )
+        elif res.kind == "global":
+            self._global_store(res.ref, lineno, detail)
+
+    def _global_store(self, qual: str, lineno: int, detail: str) -> None:
+        gvar = self.graph.globals.get(qual)
+        if gvar is not None and gvar.kind in ("thread-local", "lock"):
+            return  # per-thread / synchronisation state is not shared data
+        locked = self.lock_depth > 0
+        self.summary.add_write(
+            qual,
+            locked,
+            Witness(self.fn.display, lineno, detail, (self.fn.qualname,)),
+            WriteSite(self.fn.display, lineno, locked, detail),
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._record_store(t, node.lineno, "assignment")
+        super().visit_Assign(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_store(node.target, node.lineno, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_store(node.target, node.lineno, "assignment")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for t in node.targets:
+            self._record_store(t, node.lineno, "del")
+        self.generic_visit(node)
+
+    # -- reads ----------------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            res = self.resolve_name(node.id)
+            if res.kind == "global":
+                gvar = self.graph.globals.get(res.ref)
+                if gvar is not None and gvar.kind == "mutable":
+                    self.summary.add_read(
+                        res.ref,
+                        Witness(
+                            self.fn.display,
+                            node.lineno,
+                            f"reads {gvar.name}",
+                            (self.fn.qualname,),
+                        ),
+                    )
+        self.generic_visit(node)
+
+    # -- unordered iteration --------------------------------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+            and self.resolve_name(node.func.id).kind == "external"
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self.summary.add_hazard(
+                "nondet-iter",
+                Witness(
+                    self.fn.display,
+                    node.lineno,
+                    "iterates a set (unordered)",
+                    (self.fn.qualname,),
+                ),
+            )
+        self.generic_visit(node)
+
+
+def _interpret_call_site(
+    graph: CallGraph, fn: FunctionNode, site: CallSite, summary: EffectSummary
+) -> None:
+    """Direct effects a single call site contributes regardless of any
+    project callee: external hazards, in-place container methods on
+    parameter/global receivers, and the ``setattr`` builtin."""
+    here = (fn.qualname,)
+
+    def wit(detail: str) -> Witness:
+        return Witness(fn.display, site.lineno, detail, here)
+
+    # setattr(x, ...) mutates its first argument
+    if site.external == "setattr" and site.args:
+        res = site.args[0]
+        if res.kind == "param":
+            summary.add_param(res.ref, wit("setattr on parameter"))
+        elif res.kind == "global":
+            gvar = graph.globals.get(res.ref)
+            if gvar is None or gvar.kind not in ("thread-local", "lock"):
+                locked = site.lock_depth > 0
+                summary.add_write(
+                    res.ref,
+                    locked,
+                    wit("setattr on module global"),
+                    WriteSite(fn.display, site.lineno, locked,
+                              "setattr on module global"),
+                )
+
+    # in-place container methods on a param/global receiver
+    if site.method in MUTATING_METHODS and site.recv is not None:
+        if site.recv.kind == "param":
+            summary.add_param(site.recv.ref, wit(f".{site.method}() on parameter"))
+        elif site.recv.kind == "global":
+            gvar = graph.globals.get(site.recv.ref)
+            if gvar is None or gvar.kind not in ("thread-local", "lock"):
+                locked = site.lock_depth > 0
+                detail = f".{site.method}() on module global"
+                summary.add_write(
+                    site.recv.ref,
+                    locked,
+                    wit(detail),
+                    WriteSite(fn.display, site.lineno, locked, detail),
+                )
+
+    # pathlib-style file access is a method on an arbitrary receiver — it
+    # has no external dotted target, so check before the early return
+    if site.method in _IO_METHODS and site.callee is None:
+        summary.add_hazard("io", wit(f".{site.method}() file access"))
+
+    # external hazards
+    target = site.external
+    if target is None:
+        return
+    if target in _WALL_CLOCK_TARGETS:
+        summary.add_hazard("wall-clock", wit(f"calls {target}"))
+    elif target in _IO_TARGETS or target.startswith(_IO_PREFIXES):
+        summary.add_hazard("io", wit(f"calls {target}"))
+    elif target == "random" or target.startswith("random."):
+        rest = target.partition(".")[2]
+        node = site.node
+        if not (rest == "Random" and node is not None and node.args):
+            summary.add_hazard("unseeded-rng", wit(f"calls stdlib {target}"))
+    elif target.startswith("numpy.random."):
+        attr = target.rsplit(".", 1)[1]
+        node = site.node
+        if attr == "default_rng" or attr in _NUMPY_SEED_REQUIRED:
+            if node is not None and not _has_explicit_seed(node):
+                summary.add_hazard(
+                    "unseeded-rng", wit(f"{target}() without a seed")
+                )
+        elif attr not in _NUMPY_SEEDED_API:
+            summary.add_hazard("unseeded-rng", wit(f"legacy global RNG {target}"))
+
+
+# --------------------------------------------------------------- propagation
+
+
+def _tarjan_sccs(graph: CallGraph) -> list[list[str]]:
+    """Iterative Tarjan over project call edges; SCCs come out callee-first
+    (reverse topological order of the condensation)."""
+    edges: dict[str, list[str]] = {}
+    for qual, fn in graph.functions.items():
+        outs = sorted(
+            {s.callee for s in fn.calls if s.callee and s.callee in graph.functions}
+        )
+        edges[qual] = outs
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+    for start in sorted(graph.functions):
+        if start in index:
+            continue
+        work: list[tuple[str, int]] = [(start, 0)]
+        while work:
+            node, ei = work.pop()
+            if ei == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            outs = edges[node]
+            while ei < len(outs):
+                succ = outs[ei]
+                if succ not in index:
+                    work.append((node, ei + 1))
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+                ei += 1
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def _bindings(
+    callee: FunctionNode, site: CallSite
+) -> dict[str, Resolution]:
+    """Map callee parameter names to the caller-side resolutions bound at
+    this call site (receiver binds ``self`` for method-style calls)."""
+    out: dict[str, Resolution] = {}
+    params = list(callee.params)
+    if not params:
+        return out
+    pos = params
+    if callee.cls is not None:
+        if site.recv is not None:
+            out[params[0]] = site.recv
+            pos = params[1:]
+        elif callee.name == "__init__":
+            pos = params[1:]  # `self` is the fresh instance
+    for i, res in enumerate(site.args):
+        if i < len(pos):
+            out[pos[i]] = res
+    for name, res in site.keywords:
+        if name in params:
+            out[name] = res
+    return out
+
+
+def _propagate_site(
+    graph: CallGraph,
+    caller: FunctionNode,
+    site: CallSite,
+    caller_sum: EffectSummary,
+    callee_sum: EffectSummary,
+) -> bool:
+    callee = graph.functions[site.callee]
+    changed = False
+
+    def lift(key: str, detail: str) -> Witness:
+        inner = callee_sum.witness_for(key)
+        if inner is not None:
+            return Witness(inner.display, inner.line, inner.detail,
+                           (caller.qualname,) + inner.via)
+        return Witness(caller.display, site.lineno, detail, (caller.qualname,))
+
+    for hazard in callee_sum.hazards:
+        changed |= caller_sum.add_hazard(hazard, lift(hazard, f"via {site.raw}"))
+    for g, locked in callee_sum.writes.items():
+        eff_locked = locked or site.lock_depth > 0
+        changed |= caller_sum.add_write(g, eff_locked, lift(f"write:{g}", f"via {site.raw}"))
+    for g in callee_sum.reads:
+        changed |= caller_sum.add_read(g, lift(f"read:{g}", f"via {site.raw}"))
+    binding = _bindings(callee, site)
+    for p in callee_sum.mutated_params:
+        res = binding.get(p)
+        if res is None:
+            continue
+        if res.kind == "param":
+            changed |= caller_sum.add_param(res.ref, lift(f"param:{p}", f"via {site.raw}"))
+        elif res.kind == "global":
+            gvar = graph.globals.get(res.ref)
+            if gvar is not None and gvar.kind in ("thread-local", "lock"):
+                continue
+            locked = site.lock_depth > 0
+            detail = f"{site.raw}() mutates {res.ref.rsplit('.', 1)[-1]}"
+            changed |= caller_sum.add_write(
+                res.ref,
+                locked,
+                Witness(caller.display, site.lineno, detail, (caller.qualname,)),
+                WriteSite(caller.display, site.lineno, locked, detail),
+            )
+    return changed
+
+
+def infer_effects(graph: CallGraph) -> dict[str, EffectSummary]:
+    """Per-function effect summaries for every project function, computed
+    bottom-up over the SCC condensation with per-component fixpoints."""
+    summaries = {q: EffectSummary(q) for q in graph.functions}
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        _DirectEffects(graph, fn, summaries[qual]).run()
+        for site in fn.calls:
+            _interpret_call_site(graph, fn, site, summaries[qual])
+    for scc in _tarjan_sccs(graph):
+        changed = True
+        while changed:
+            changed = False
+            for qual in scc:
+                fn = graph.functions[qual]
+                caller_sum = summaries[qual]
+                for site in fn.calls:
+                    if site.callee is None or site.callee not in summaries:
+                        continue
+                    changed |= _propagate_site(
+                        graph, fn, site, caller_sum, summaries[site.callee]
+                    )
+    return summaries

@@ -14,7 +14,9 @@ Rule id families:
 * ``ART-*`` — artifact encoding/addressing invariants (audit pass);
 * ``MAP-*`` — mapping legality invariants, §VI-B included (audit pass);
 * ``FOLD-*`` — PageMaster foldability invariants (audit pass);
-* ``STORE-*`` — store hygiene (audit pass).
+* ``STORE-*`` — store hygiene (audit pass);
+* ``RACE-*`` — interprocedural data-race hazards (flow pass);
+* ``FLOW-*`` — determinism-contract violations (flow pass).
 """
 
 from __future__ import annotations
@@ -24,7 +26,16 @@ from typing import Callable
 
 from repro.analysis.findings import Severity
 
-__all__ = ["Rule", "register", "get_rule", "all_rules", "lint_rules", "audit_rules"]
+__all__ = [
+    "Rule",
+    "register",
+    "get_rule",
+    "all_rules",
+    "lint_rules",
+    "audit_rules",
+    "flow_rules",
+    "flow_rule_ids",
+]
 
 
 @dataclass(frozen=True)
@@ -38,7 +49,7 @@ class Rule:
     """
 
     id: str
-    kind: str  # "lint" | "audit"
+    kind: str  # "lint" | "audit" | "flow"
     severity: Severity
     summary: str
     fix_hint: str
@@ -51,7 +62,7 @@ _REGISTRY: dict[str, Rule] = {}
 def register(rule: Rule) -> Rule:
     if rule.id in _REGISTRY:
         raise ValueError(f"duplicate rule id {rule.id!r}")
-    if rule.kind not in ("lint", "audit"):
+    if rule.kind not in ("lint", "audit", "flow"):
         raise ValueError(f"rule {rule.id}: unknown kind {rule.kind!r}")
     _REGISTRY[rule.id] = rule
     return rule
@@ -85,6 +96,15 @@ def audit_rules() -> list[Rule]:
     return [r for r in all_rules() if r.kind == "audit"]
 
 
+def flow_rules() -> list[Rule]:
+    return [r for r in all_rules() if r.kind == "flow"]
+
+
+def flow_rule_ids() -> frozenset[str]:
+    return frozenset(r.id for r in flow_rules())
+
+
 def _ensure_loaded() -> None:
     """Import the modules that register rules (idempotent)."""
     from repro.analysis import audit, lint, rules  # noqa: F401
+    from repro.analysis.flow import concurrency, contracts  # noqa: F401

@@ -44,7 +44,7 @@ from repro.compiler.routing import (
     find_route_shared_ids,
     release_route,
 )
-from repro.compiler.stats import COUNTERS, SEARCH
+from repro.compiler.stats import counters, search_stats
 from repro.dfg.analysis import alap_times, asap_times, rec_mii
 from repro.dfg.graph import DFG
 from repro.util.errors import MappingError
@@ -209,13 +209,13 @@ class EMSMapper:
         produce.
         """
         start_ii = self.ladder_start_ii(dfg, min_ii=min_ii)
-        SEARCH.serial_ladders += 1
+        search_stats().serial_ladders += 1
         rng = make_rng(self.config.seed)
         orders = self.attempt_orders(dfg)
         for ii in range(start_ii, self.config.max_ii + 1):
             skip = resume_ii is not None and ii < resume_ii
             if skip:
-                COUNTERS.rungs_skipped += 1
+                counters().rungs_skipped += 1
             elif self.rung_infeasible(dfg, ii):
                 skip = True  # hook holds a proof; it does its own counting
             if skip:
@@ -527,7 +527,7 @@ class EMSMapper:
         is_mem = op.is_memory
         for t in range(t_lo, t_hi + 1):
             for pe in candidates:
-                COUNTERS.placement_probes += 1
+                counters().placement_probes += 1
                 if not mrt.slot_free_id(pe, t):
                     continue
                 if is_mem and not mrt.bus_free_id(pe, t):
@@ -565,7 +565,7 @@ class EMSMapper:
         Cost = route slots consumed + congestion of this PE's 1-hop
         neighbourhood at the next cycle (the value's escape room).
         """
-        COUNTERS.trial_commits += 1
+        counters().trial_commits += 1
         if not self._commit_candidate(
             dfg, ii, st, op_id, pe_id, t, pred_edges, succ_edges, self_edges
         ):

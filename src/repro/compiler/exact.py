@@ -8,7 +8,7 @@ constraint model — placement exactly-one, per-(PE, cycle-slot) capacity,
 operand arrival from the in-neighborhood, banked-bus budgets — so an
 **UNSAT** verdict is a machine-checked certificate that no mapping exists
 at that II and the greedy attempts can be skipped outright
-(``COUNTERS.rungs_pruned``).  A SAT verdict proves nothing about the full
+(``MapperCounters.rungs_pruned``).  A SAT verdict proves nothing about the full
 model (the relaxation drops route-shape and horizon constraints), so the
 ladder then runs its normal attempts.
 
@@ -45,7 +45,7 @@ from repro.compiler.sat import (
     add_at_most_one,
     add_exactly_one,
 )
-from repro.compiler.stats import COUNTERS
+from repro.compiler.stats import counters
 from repro.dfg.graph import DFG
 
 __all__ = ["ExactMapper", "encode_modulo_relaxation", "probe_rung"]
@@ -215,12 +215,12 @@ class ExactMapper(EMSMapper):
         est = (n_ops + n_values) * len(self._allowed_ids) * ii
         if est > self.probe_var_cap:
             return False
-        COUNTERS.exact_probes += 1
+        counters().exact_probes += 1
         verdict = probe_rung(
             self, dfg, ii, conflict_budget=self.probe_conflict_budget
         )
         if verdict is False:
-            COUNTERS.exact_wins += 1
-            COUNTERS.rungs_pruned += 1
+            counters().exact_wins += 1
+            counters().rungs_pruned += 1
             return True
         return False

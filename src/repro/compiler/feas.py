@@ -25,7 +25,7 @@ import math
 from dataclasses import dataclass
 
 from repro.compiler.mapping import materialized_ops
-from repro.compiler.stats import COUNTERS
+from repro.compiler.stats import counters
 from repro.dfg.analysis import rec_mii
 from repro.dfg.graph import DFG, Opcode
 from repro.util.errors import MappingError
@@ -197,13 +197,13 @@ def page_order_certificate(
 
 def prune_to(start_ii: int, certified_ii: int) -> int:
     """Raise a ladder's first rung to *certified_ii*, counting the rungs a
-    certificate proved infeasible into ``COUNTERS.rungs_pruned``.
+    certificate proved infeasible into ``MapperCounters.rungs_pruned``.
 
     Callers must hold a soundness proof for every skipped rung; the flat
     ladder's byte-stability is preserved because its bounds already equal
     the certified floor (this helper is for the exact backend's probes).
     """
     if certified_ii > start_ii:
-        COUNTERS.rungs_pruned += certified_ii - start_ii
+        counters().rungs_pruned += certified_ii - start_ii
         return certified_ii
     return start_ii

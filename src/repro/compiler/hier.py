@@ -51,7 +51,7 @@ from repro.compiler.constraints import paged_bus_key, ring_hop_filter
 from repro.compiler.ems import EMSMapper, MapperConfig
 from repro.compiler.mapping import Mapping, materialized_ops
 from repro.compiler.paged import PagedMapping, _map_once, paged_mapper
-from repro.compiler.stats import COUNTERS, SEARCH
+from repro.compiler.stats import counters, search_stats
 from repro.core.page_schedule import extract_page_schedule
 from repro.core.paging import PageLayout
 from repro.dfg.graph import DFG
@@ -286,22 +286,22 @@ class HierMapper:
         self, dfg: DFG, start_ii: int, ii: int, attempt: int, orders
     ) -> Mapping | None:
         if attempt == 0:
-            COUNTERS.hier_attempts += 1
+            counters().hier_attempts += 1
             mapping = self._hier_attempt(dfg, ii, orders)
             if mapping is not None:
-                COUNTERS.hier_wins += 1
+                counters().hier_wins += 1
             return mapping
-        COUNTERS.hier_flat_attempts += 1
+        counters().hier_flat_attempts += 1
         order = self.flat.attempt_order(orders, start_ii, ii, attempt - 1)
         mapping = self.flat._try_map(dfg, ii, order)
         if mapping is not None:
-            COUNTERS.hier_flat_wins += 1
+            counters().hier_flat_wins += 1
         return mapping
 
     def map(self, dfg: DFG, *, min_ii: int | None = None) -> Mapping:
         """Serial ladder over the widened lattice (first success wins)."""
         start_ii = self.ladder_start_ii(dfg, min_ii=min_ii)
-        SEARCH.serial_ladders += 1
+        search_stats().serial_ladders += 1
         orders = self.attempt_orders(dfg)
         for ii in range(start_ii, self.config.max_ii + 1):
             for attempt in range(self.lattice_attempts_per_ii()):

@@ -37,7 +37,7 @@ from repro.arch.cgra import CGRA
 from repro.arch.interconnect import Coord
 from repro.compiler.mapping import RouteStep
 from repro.compiler.mrt import ReservationTable
-from repro.compiler.stats import COUNTERS
+from repro.compiler.stats import counters
 
 __all__ = [
     "RoutingContext",
@@ -124,7 +124,7 @@ class RoutingContext:
             out = tuple(sorted(self.allowed_moves[pe_id], key=row.__getitem__))
             memo[hint_id] = out
         else:
-            COUNTERS.move_cache_hits += 1
+            counters().move_cache_hits += 1
         return out
 
     def moves_table(self, hint_id: int | None) -> tuple[tuple[int, ...], ...]:
@@ -142,7 +142,7 @@ class RoutingContext:
             )
             self._moves_tables[hint_id] = tbl
         else:
-            COUNTERS.move_cache_hits += 1
+            counters().move_cache_hits += 1
         return tbl
 
     def goal_table(
@@ -202,7 +202,7 @@ class RoutingContext:
             entry = (tuple(goal), tuple(mask), min_dist, hint)
             self._goals[dst_id] = entry
         else:
-            COUNTERS.target_cache_hits += 1
+            counters().target_cache_hits += 1
         return entry
 
 
@@ -303,7 +303,7 @@ def find_route_ids(
     max_expansions: int = 20000,
 ) -> tuple[RouteStep, ...] | None:
     """Integer-domain :func:`find_route` (hot-path entry point)."""
-    COUNTERS.route_calls += 1
+    counters().route_calls += 1
     gap = t_dst - t_src_eff
     if gap < 1:
         return None
@@ -345,7 +345,7 @@ def _bfs_route(
 ) -> tuple[RouteStep, ...] | None:
     """Layered BFS: all step times are distinct modulo II (hops < II), so a
     path can never collide with itself and per-layer reachability suffices."""
-    COUNTERS.bfs_calls += 1
+    counters().bfs_calls += 1
     ii = mrt.ii
     num_pes = mrt.num_pes
     occ = mrt._occ_mask
@@ -369,11 +369,11 @@ def _bfs_route(
                     continue
                 nxt[q] = p
         if not nxt:
-            COUNTERS.expansions += expansions
+            counters().expansions += expansions
             return None
         parents.append(nxt)
         layer = nxt
-    COUNTERS.expansions += expansions
+    counters().expansions += expansions
     final = next((p for p in layer if goal_mask[p]), None)
     if final is None:
         return None
@@ -405,7 +405,7 @@ def _dfs_route(
     leaf goal tests are inlined into the parent's loop; visit order,
     budget accounting and therefore search results are bit-for-bit
     unchanged from the original formulation."""
-    COUNTERS.dfs_calls += 1
+    counters().dfs_calls += 1
     ii = mrt.ii
     num_pes = mrt.num_pes
     mt = ctx.moves_table(hint)
@@ -494,7 +494,7 @@ def _dfs_route(
     if budget > 0:
         budget -= 1  # visit the source node
         found = rec(src_id, 0)
-    COUNTERS.expansions += max_expansions - budget
+    counters().expansions += max_expansions - budget
     if not found:
         return None
     return _steps_of(ctx, path, t_src_eff)

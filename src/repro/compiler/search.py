@@ -44,7 +44,13 @@ from typing import Sequence
 from repro.arch.cgra import CGRA
 from repro.compiler.ems import EMSMapper, MapperConfig
 from repro.compiler.mapping import Mapping
-from repro.compiler.stats import COUNTERS, SEARCH
+from repro.compiler.stats import (
+    counters,
+    job_counters,
+    merge_counter_delta,
+    merge_search_delta,
+    search_stats,
+)
 from repro.util.errors import MappingError
 
 __all__ = [
@@ -230,29 +236,30 @@ def _probe_context(task: ProbeTask) -> tuple[object, list[list[int]]]:
         mapper = task.spec.build()
         hit = (mapper, mapper.attempt_orders(task.dfg))
         if len(_CTX_CACHE) >= _CTX_CACHE_MAX:
-            _CTX_CACHE.pop(next(iter(_CTX_CACHE)))
-        _CTX_CACHE[key] = hit
+            _CTX_CACHE.pop(next(iter(_CTX_CACHE)))  # repro: allow[RACE-SHARED-MUT] per-process probe cache: the probe pool is a ProcessPoolExecutor, each worker owns a private copy; the serial fallback runs single-threaded
+        _CTX_CACHE[key] = hit  # repro: allow[RACE-SHARED-MUT] per-process probe cache: same ownership argument as the eviction above
     return hit
 
 
+# repro: allow[RACE-FORK-STATE] pool is pre-warmed: every worker forks at SearchContext.create before any ladder thread exists, and the worker-side COUNTERS/SEARCH totals are per-process scratch that only returns as explicit counter deltas in ProbeResult
 def run_probe(task: ProbeTask) -> ProbeResult:
     """Run one serial-identical placement attempt (the worker entry point).
 
     Top-level and argument-picklable so a ``ProcessPoolExecutor`` can run
     it; also callable in-process (the tests' synchronous executors do).
     """
-    before = COUNTERS.snapshot()
     started = time.perf_counter()
-    mapper, orders = _probe_context(task)
-    mapping = mapper.run_lattice_attempt(
-        task.dfg, task.start_ii, task.ii, task.attempt, orders
-    )
+    with job_counters() as (probe_counters, _search):
+        mapper, orders = _probe_context(task)
+        mapping = mapper.run_lattice_attempt(
+            task.dfg, task.start_ii, task.ii, task.attempt, orders
+        )
     return ProbeResult(
         ii=task.ii,
         attempt=task.attempt,
         mapping=mapping,
         seconds=time.perf_counter() - started,
-        counters=COUNTERS.delta(before),
+        counters=probe_counters.as_dict(),
     )
 
 
@@ -419,7 +426,10 @@ def portfolio_map(
         skip_ranks = min(n_ranks, (resume_ii - start_ii) * per_ii)
     dfg_fp = dfg.fingerprint()
     report = LadderReport(start_ii=start_ii, attempts_per_ii=per_ii)
-    SEARCH.ladders += 1
+    # this thread's active stats scope: the enclosing job's context when the
+    # ladder runs under compile_many, else the process-wide totals
+    stats = search_stats()
+    stats.ladders += 1
 
     def task_for(rank: int) -> ProbeTask:
         return ProbeTask(
@@ -443,7 +453,7 @@ def portfolio_map(
         outcome[rank] = "skipped"
         seconds[rank] = 0.0
     if skip_ranks:
-        COUNTERS.rungs_skipped += skip_ranks // per_ii
+        counters().rungs_skipped += skip_ranks // per_ii
 
     def bound() -> int:
         # never submit at or above a landed success: canonical pruning
@@ -474,7 +484,7 @@ def portfolio_map(
                 inflight[fut] = next_rank
                 next_rank += 1
                 report.probes_launched += 1
-                SEARCH.probes_launched += 1
+                stats.probes_launched += 1
             done, _pending = wait(list(inflight), return_when=FIRST_COMPLETED)
             # process simultaneous completions in canonical rank order so
             # the report's timeline/waste labels are deterministic too
@@ -483,18 +493,18 @@ def portfolio_map(
                 if fut.cancelled():
                     record(rank, "cancelled")
                     report.probes_cancelled += 1
-                    SEARCH.probes_cancelled += 1
+                    stats.probes_cancelled += 1
                     continue
                 res: ProbeResult = fut.result()
-                COUNTERS.add(res.counters)
-                SEARCH.probes_completed += 1
+                counters().add(res.counters)
+                stats.probes_completed += 1
                 if best is not None and rank > best:
                     # completed above an already-landed success: waste
                     record(rank, "wasted", res.seconds)
                     report.probes_wasted += 1
                     report.wasted_seconds += res.seconds
-                    SEARCH.probes_wasted += 1
-                    SEARCH.wasted_seconds += res.seconds
+                    stats.probes_wasted += 1
+                    stats.wasted_seconds += res.seconds
                     continue
                 record(
                     rank,
@@ -502,7 +512,7 @@ def portfolio_map(
                     res.seconds,
                 )
                 report.useful_seconds += res.seconds
-                SEARCH.useful_seconds += res.seconds
+                stats.useful_seconds += res.seconds
                 if res.mapping is not None:
                     mappings[rank] = res.mapping
                     if best is None or rank < best:
@@ -513,7 +523,7 @@ def portfolio_map(
                             inflight.pop(f2)
                             record(r2, "cancelled")
                             report.probes_cancelled += 1
-                            SEARCH.probes_cancelled += 1
+                            stats.probes_cancelled += 1
     finally:
         # Probes still running above the winner (or after an error) cannot
         # be interrupted; cancel what never started and let the rest drain
@@ -522,11 +532,11 @@ def portfolio_map(
             if fut.cancel():
                 record(rank, "cancelled")
                 report.probes_cancelled += 1
-                SEARCH.probes_cancelled += 1
+                stats.probes_cancelled += 1
             else:
                 record(rank, "abandoned")
                 report.probes_wasted += 1
-                SEARCH.probes_wasted += 1
+                stats.probes_wasted += 1
                 fut.add_done_callback(_charge_waste)
         report.winner = point(best) if best is not None else None
         if log is not None:
@@ -550,8 +560,8 @@ def _charge_waste(fut: Future) -> None:
     if exc is not None:
         return
     res = fut.result()
-    SEARCH.wasted_seconds += res.seconds
-    COUNTERS.add(res.counters)
+    merge_search_delta({"wasted_seconds": res.seconds})
+    merge_counter_delta(res.counters)
 
 
 def lattice(

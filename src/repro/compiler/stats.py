@@ -7,17 +7,40 @@ what ``python -m repro.bench compile-speed`` prints next to wall-clock
 timings, so a perf regression shows up as a *search-volume* regression even
 on noisy CI machines.
 
-Counting is process-local and cumulative; callers snapshot before/after a
-compile and diff (:meth:`MapperCounters.delta`).  The increments live on
-paths executed millions of times per kernel, so they are plain integer
-adds on a module-level object — no locks, no indirection.
+Counting is two-level.  The process-wide totals (:data:`COUNTERS`,
+:data:`SEARCH`) stay cumulative, as before.  On top of them sits a
+*per-job counter context* (:func:`job_counters`): a compile job opens a
+scope, the hot paths increment the scope's own thread-local instances
+(fetched via :func:`counters` / :func:`search_stats`), and the scope
+merges its totals into the process-wide singletons — under a lock — when
+it closes.  That gives ``compile_many``'s concurrent thread jobs *exact*
+per-job attribution (no interleaved snapshot/delta windows) while the
+cumulative totals remain exactly what they always were.
+
+The increments live on paths executed millions of times per kernel, so
+hot functions fetch the active instance once (one thread-local read) and
+then do plain integer adds on it — no locks and no indirection inside the
+inner loops; the only lock is taken once per job, at merge time.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 
-__all__ = ["MapperCounters", "PhaseTimes", "SearchStats", "COUNTERS", "SEARCH"]
+__all__ = [
+    "MapperCounters",
+    "PhaseTimes",
+    "SearchStats",
+    "COUNTERS",
+    "SEARCH",
+    "counters",
+    "search_stats",
+    "job_counters",
+    "merge_counter_delta",
+    "merge_search_delta",
+]
 
 
 @dataclass
@@ -129,8 +152,78 @@ class SearchStats:
         return asdict(self)
 
 
-#: The process-wide counter instance the compiler increments.
+#: The process-wide counter totals (merged from finished job contexts, or
+#: incremented directly when no context is active).
 COUNTERS = MapperCounters()
 
-#: The process-wide speculative-search stats the portfolio engine updates.
+#: The process-wide speculative-search totals.
 SEARCH = SearchStats()
+
+#: Per-thread active counter context.  ``threading.local`` keeps each
+#: compile thread's scope private, so concurrent jobs never interleave.
+_TLS = threading.local()
+
+#: Guards every merge into the process-wide singletons: job contexts close
+#: on their own threads, and probe done-callbacks bill waste from whatever
+#: thread the executor runs them on.
+_MERGE_LOCK = threading.Lock()
+
+
+def counters() -> MapperCounters:
+    """The :class:`MapperCounters` increments should target on this thread:
+    the active job context's instance, else the process-wide totals."""
+    active = getattr(_TLS, "counters", None)
+    return COUNTERS if active is None else active
+
+
+def search_stats() -> SearchStats:
+    """The :class:`SearchStats` the portfolio engine should update on this
+    thread: the active job context's instance, else the totals."""
+    active = getattr(_TLS, "search", None)
+    return SEARCH if active is None else active
+
+
+def merge_counter_delta(delta: dict[str, int]) -> None:
+    """Fold a counter delta straight into the process-wide totals (used by
+    done-callbacks that run outside any job context)."""
+    with _MERGE_LOCK:
+        COUNTERS.add(delta)
+
+
+def merge_search_delta(delta: dict[str, float]) -> None:
+    """Fold a search-stat delta straight into the process-wide totals."""
+    with _MERGE_LOCK:
+        SEARCH.add(delta)
+
+
+@contextmanager
+def job_counters():
+    """Per-job counter scope: yields fresh ``(MapperCounters, SearchStats)``
+    instances that every increment on this thread targets for the duration,
+    then merges them into the process-wide totals under the lock.
+
+    Scopes nest (the previous context is restored on exit), and the yielded
+    instances remain readable after the scope closes — that is the per-job
+    delta, attributed exactly even when many jobs compile concurrently on
+    sibling threads.
+    """
+    prev_counters = getattr(_TLS, "counters", None)
+    prev_search = getattr(_TLS, "search", None)
+    local_counters = MapperCounters()
+    local_search = SearchStats()
+    _TLS.counters = local_counters
+    _TLS.search = local_search
+    try:
+        yield local_counters, local_search
+    finally:
+        _TLS.counters = prev_counters
+        _TLS.search = prev_search
+        if prev_counters is not None:
+            # nested scope: roll up into the enclosing job only — the
+            # outermost scope carries the totals to COUNTERS exactly once
+            prev_counters.add(local_counters.as_dict())
+            prev_search.add(local_search.as_dict())
+        else:
+            with _MERGE_LOCK:
+                COUNTERS.add(local_counters.as_dict())
+                SEARCH.add(local_search.as_dict())

@@ -30,7 +30,7 @@ from typing import Iterable, Sequence
 from repro.arch.cgra import CGRA
 from repro.compiler.ems import MapperConfig, map_dfg
 from repro.compiler.paged import map_dfg_paged
-from repro.compiler.stats import COUNTERS
+from repro.compiler.stats import job_counters
 from repro.core.pagemaster import steady_state_ii
 from repro.core.paging import PageLayout, choose_page_shape
 from repro.kernels import get_kernel, kernel_names
@@ -200,11 +200,13 @@ def compile_job_stats(
     """Compile one job, uncached, with per-phase timings and the mapper's
     search-effort counter deltas (the ``compile-speed`` bench's input).
 
-    The counter deltas diff the process-wide ``COUNTERS``; when several
-    jobs compile concurrently in one process (thread fan-out), per-job
-    attribution is approximate while the totals stay exact.
+    The compile runs inside a per-job counter context
+    (:func:`repro.compiler.stats.job_counters`): the mapper's increments
+    land on this thread's private instances and merge into the process-wide
+    totals when the job finishes, so per-job attribution is *exact* even
+    when several jobs compile concurrently on sibling threads — and the
+    cumulative totals stay exactly what they always were.
     """
-    counters_before = COUNTERS.snapshot()
     started = time.perf_counter()
     key = job_key(job)
     dfg = get_kernel(job.kernel).build()
@@ -212,9 +214,21 @@ def compile_job_stats(
     layout = make_layout(cgra, job.page_size, job.prefer)
     config = job.mapper_config
     search_log: list = [] if search is not None else None
-    base_started = time.perf_counter()
-    base = map_dfg(dfg, cgra, config=config, search=search, search_log=search_log)
-    base_seconds = time.perf_counter() - base_started
+    with job_counters() as (job_ctrs, _job_search):
+        base_started = time.perf_counter()
+        base = map_dfg(
+            dfg, cgra, config=config, search=search, search_log=search_log
+        )
+        base_seconds = time.perf_counter() - base_started
+        paged_started = time.perf_counter()
+        try:
+            paged = map_dfg_paged(
+                dfg, cgra, layout, config=config, search=search,
+                search_log=search_log,
+            )
+        except MappingError:
+            paged = None
+        paged_seconds = time.perf_counter() - paged_started
     common = dict(
         kernel=job.kernel,
         rows=cgra.rows,
@@ -229,29 +243,21 @@ def compile_job_stats(
         mapper_fp=key.mapper_fp,
         ii_base=base.ii,
     )
-    def stats_for(paged_seconds: float) -> CompileStats:
-        return CompileStats(
-            kernel=job.kernel,
-            size=job.size,
-            page_size=job.page_size,
-            seconds=time.perf_counter() - started,
-            base_map_seconds=base_seconds,
-            paged_map_seconds=paged_seconds,
-            counters=COUNTERS.delta(counters_before),
-            search=_search_record(search_log) if search_log is not None else None,
-            arch=job.arch,
-            backend=job.backend,
-        )
-
-    paged_started = time.perf_counter()
-    try:
-        paged = map_dfg_paged(
-            dfg, cgra, layout, config=config, search=search, search_log=search_log
-        )
-    except MappingError:
+    stats = CompileStats(
+        kernel=job.kernel,
+        size=job.size,
+        page_size=job.page_size,
+        seconds=time.perf_counter() - started,
+        base_map_seconds=base_seconds,
+        paged_map_seconds=paged_seconds,
+        counters=job_ctrs.as_dict(),
+        search=_search_record(search_log) if search_log is not None else None,
+        arch=job.arch,
+        backend=job.backend,
+    )
+    if paged is None:
         artifact = CompiledKernel(layout_wrap=False, unmappable=True, **common)
-        return artifact, stats_for(time.perf_counter() - paged_started)
-    paged_seconds = time.perf_counter() - paged_started
+        return artifact, stats
     steady = tuple(
         (m, ii.numerator, ii.denominator)
         for m in range(1, paged.pages_used + 1)
@@ -283,7 +289,7 @@ def compile_job_stats(
         steady_ii=steady,
         **common,
     )
-    return artifact, stats_for(paged_seconds)
+    return artifact, stats
 
 
 def compile_many(
