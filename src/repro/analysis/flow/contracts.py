@@ -106,6 +106,35 @@ DEFAULT_CONTRACTS: tuple[Contract, ...] = (
         | frozenset({"repro.compiler.search._CTX_CACHE"}),
     ),
     Contract(
+        name="artifact-store",
+        entrypoints=(
+            "repro.pipeline.store.ArtifactStore.get",
+            "repro.pipeline.store.ArtifactStore.put",
+        ),
+        description="the shared artifact store: file I/O is its whole job "
+        "(atomic temp-write + replace), pid/thread-id observation only "
+        "names temp files and never reaches artifact bytes, and counter "
+        "mutation happens under the per-store lock — nothing else may "
+        "leak in",
+        allow_effects=frozenset(
+            {"mutates-param", "reads-global", "io", "wall-clock"}
+        ),
+    ),
+    Contract(
+        name="serve-worker",
+        entrypoints=("repro.serve.service.CompileService._compile_blocking",),
+        description="compile-service worker threads: served bytes must be "
+        "a pure function of the request's job (read back from the store "
+        "file, so byte-identical to offline compile_many); store I/O and "
+        "temp-name pid/tid are the store contract's business, stat totals "
+        "merge through the locked channels",
+        allow_effects=frozenset(
+            {"mutates-param", "reads-global", "io", "wall-clock"}
+        ),
+        allow_global_writes=_STATS_CHANNEL
+        | frozenset({"repro.compiler.search._CTX_CACHE"}),
+    ),
+    Contract(
         name="fingerprint",
         entrypoints=("repro.util.fingerprint.canonical_fingerprint",),
         description="the content-addressing choke point: strictly pure — "

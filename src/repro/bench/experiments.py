@@ -9,6 +9,7 @@ Every paper artifact has a named experiment that regenerates it::
     python -m repro.bench all --workers 8
     python -m repro.bench compile-speed --kernels mpeg,wavelet --dry-run
     python -m repro.bench sim-oracle --configs 60
+    python -m repro.bench serve --requests 80 --clients 8
 
 All compilation goes through :mod:`repro.pipeline`; ``--workers N`` fans a
 cold cache out over N processes, and after each experiment the CLI reports
@@ -115,6 +116,7 @@ def _parser() -> argparse.ArgumentParser:
             "analysis",
             "sim-oracle",
             "policies",
+            "serve",
             "all",
             "list",
         ],
@@ -122,7 +124,7 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--smoke",
         action="store_true",
-        help="policies: tiny oracle-verified CI variant (2 policies, no "
+        help="policies/serve: tiny oracle-verified CI variant (no "
         "bench-file update)",
     )
     p.add_argument("--page-size", type=int, default=None)
@@ -181,6 +183,24 @@ def _parser() -> argparse.ArgumentParser:
         default=60,
         help="workload configurations to verify (sim-oracle)",
     )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=80,
+        help="load-generator request count (serve)",
+    )
+    p.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent keep-alive client connections (serve)",
+    )
+    p.add_argument(
+        "--slots",
+        type=int,
+        default=2,
+        help="concurrent compile slots in the service (serve)",
+    )
     return p
 
 
@@ -189,7 +209,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         print(
             "\n".join(
-                [*EXPERIMENTS, "compile-speed", "analysis", "sim-oracle", "policies"]
+                [
+                    *EXPERIMENTS,
+                    "compile-speed",
+                    "analysis",
+                    "sim-oracle",
+                    "policies",
+                    "serve",
+                ]
             )
         )
         return 0
@@ -204,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.policies import main as policies_main
 
         return policies_main(args)
+    if args.experiment == "serve":
+        # Compile-as-a-service load bench: own ephemeral server + store.
+        from repro.bench.serve import main as serve_main
+
+        return serve_main(args)
     if args.experiment == "sim-oracle":
         # Pure-simulation differential check: no compilation, no cache.
         from repro.sim.fuzz import run_fuzz

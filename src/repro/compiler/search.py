@@ -59,10 +59,21 @@ __all__ = [
     "ProbeResult",
     "WorkerBudget",
     "SearchContext",
+    "CancelledSearch",
     "LadderReport",
     "portfolio_map",
     "run_probe",
 ]
+
+
+class CancelledSearch(Exception):
+    """A ladder was cooperatively cancelled mid-search.
+
+    Deliberately *not* a :class:`~repro.util.errors.MappingError`: the
+    pipeline converts exhausted ladders into unmappable artifacts, and a
+    cancelled request must never masquerade as an unmappable kernel (that
+    artifact would be stored and served to every future tenant).
+    """
 
 
 # --------------------------------------------------------------------------- specs
@@ -306,6 +317,25 @@ class SearchContext:
     executor: object  # duck-typed: needs .submit(fn, arg) -> Future
     budget: WorkerBudget
     owns_executor: bool = False
+    #: Cooperative-cancellation probe: checked by :func:`portfolio_map`
+    #: between probe completions; returning True raises
+    #: :class:`CancelledSearch` out of the ladder.  ``None`` (the default)
+    #: means the ladder is not cancellable.
+    cancel_check: object | None = None
+
+    def for_request(self, cancel_check) -> "SearchContext":
+        """A per-request view of this context: same executor and budget
+        (one warm pool serves every tenant), but with *cancel_check* wired
+        in so one request's ladders can be cancelled without touching the
+        shared pool.  The view never owns the executor — closing it is a
+        no-op."""
+        return SearchContext(
+            workers=self.workers,
+            executor=self.executor,
+            budget=self.budget,
+            owns_executor=False,
+            cancel_check=cancel_check,
+        )
 
     @classmethod
     def create(cls, workers: int) -> "SearchContext":
@@ -466,8 +496,16 @@ def portfolio_map(
         report.timeline.append([ii, attempt, verdict, round(secs, 4)])
 
     next_rank = skip_ranks
+    cancel_check = ctx.cancel_check
     try:
         while True:
+            if cancel_check is not None and cancel_check():
+                # Cooperative cancellation: stop submitting and bail out;
+                # the finally block cancels queued probes and abandons the
+                # running ones (their wall clock bills to waste on arrival).
+                raise CancelledSearch(
+                    f"ladder cancelled at rank {next_rank}/{n_ranks}"
+                )
             if best is not None and all(r in outcome for r in range(best)):
                 break  # every lower rung resolved: canonical winner stands
             if next_rank >= bound() and not inflight:
@@ -485,7 +523,13 @@ def portfolio_map(
                 next_rank += 1
                 report.probes_launched += 1
                 stats.probes_launched += 1
-            done, _pending = wait(list(inflight), return_when=FIRST_COMPLETED)
+            done, _pending = wait(
+                list(inflight),
+                return_when=FIRST_COMPLETED,
+                # cancellable ladders poll so a cancel lands within ~50 ms
+                # even while a long probe is still running
+                timeout=None if cancel_check is None else 0.05,
+            )
             # process simultaneous completions in canonical rank order so
             # the report's timeline/waste labels are deterministic too
             for fut in sorted(done, key=inflight.__getitem__):

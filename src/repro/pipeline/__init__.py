@@ -28,11 +28,13 @@ Typical use::
 
 from repro.pipeline.artifact import ARTIFACT_VERSION, ArtifactKey, CompiledKernel
 from repro.pipeline.compile import (
+    CompileFailure,
     CompileJob,
     build_profiles,
     compile_job,
     compile_kernel,
     compile_many,
+    compile_many_outcomes,
     job_key,
     make_layout,
 )
@@ -44,11 +46,13 @@ __all__ = [
     "CompiledKernel",
     "ArtifactStore",
     "STORE_DIRNAME",
+    "CompileFailure",
     "CompileJob",
     "job_key",
     "compile_job",
     "compile_kernel",
     "compile_many",
+    "compile_many_outcomes",
     "build_profiles",
     "make_layout",
 ]

@@ -42,14 +42,24 @@ from repro.util.fingerprint import canonical_fingerprint
 __all__ = [
     "CompileJob",
     "CompileStats",
+    "CompileFailure",
+    "MAX_COORDINATION_THREADS",
     "job_key",
     "compile_job",
     "compile_job_stats",
     "compile_kernel",
     "compile_many",
+    "compile_many_outcomes",
     "build_profiles",
     "make_layout",
 ]
+
+#: Upper bound on ``compile_many``'s per-miss coordination threads.  The
+#: threads only block on probe futures (the shared WorkerBudget bounds
+#: actual parallelism), but an unbounded one-thread-per-miss spawn still
+#: explodes on a large multi-tenant batch; misses beyond the cap queue on
+#: the same bounded executor, in input order, with byte-identical results.
+MAX_COORDINATION_THREADS = 32
 
 
 def make_layout(cgra: CGRA, page_size: int, prefer: str = "square") -> PageLayout:
@@ -292,6 +302,115 @@ def compile_job_stats(
     return artifact, stats
 
 
+@dataclass(frozen=True)
+class CompileFailure:
+    """Structured per-job failure from :func:`compile_many_outcomes`.
+
+    One failing job no longer aborts a whole batch: the outcome list
+    carries a ``CompileFailure`` in that job's slot (error class name plus
+    message) while every other job still compiles, is stored, and is
+    returned — which is what lets a multi-tenant service answer each
+    coalesced waiter with *its* request's error instead of failing all of
+    them on a sibling's exception.
+    """
+
+    job: CompileJob
+    error: str
+    message: str
+    #: The original exception, for in-process callers that re-raise; not
+    #: part of equality and never serialized (services ship error/message).
+    cause: Exception | None = field(default=None, compare=False, repr=False)
+
+    def raise_(self) -> None:
+        """Re-raise the original exception (a :class:`MappingError` when
+        the failure crossed a serialization boundary and lost it)."""
+        if self.cause is not None:
+            raise self.cause
+        raise MappingError(f"{self.job.kernel}: {self.error}: {self.message}")
+
+
+def _coordination_threads(n_pending: int, workers: int) -> int:
+    """Thread count for the per-miss coordination fan-out: one per miss,
+    bounded by :data:`MAX_COORDINATION_THREADS` (but never fewer than the
+    probe pool, so *workers* processes are never starved of feeders)."""
+    return min(n_pending, max(workers, MAX_COORDINATION_THREADS))
+
+
+def _job_outcome(job: CompileJob, search=None):
+    """Compile one job, capturing any exception as a structured failure."""
+    try:
+        return compile_job(job, search=search)
+    except Exception as exc:  # noqa: BLE001 - isolated per-job, reported upstream
+        return CompileFailure(
+            job=job, error=type(exc).__name__, message=str(exc), cause=exc
+        )
+
+
+def compile_many_outcomes(
+    jobs: Iterable[CompileJob],
+    *,
+    store: ArtifactStore | None = None,
+    workers: int = 1,
+) -> list[CompiledKernel | CompileFailure]:
+    """Compile *jobs*, returning one outcome per job in input order.
+
+    Like :func:`compile_many`, but per-job failures are isolated: a job
+    whose compile raises yields a :class:`CompileFailure` in its slot
+    instead of aborting the batch, and every other job's artifact is still
+    compiled, stored, and returned.  Successful outcomes are
+    byte-identical to a batch with the failing jobs removed.
+    """
+    jobs = list(jobs)
+    resolved: dict[CompileJob, CompiledKernel | CompileFailure] = {}
+    pending: list[CompileJob] = []
+    for job in jobs:
+        if job in resolved or job in pending:
+            continue
+        if store is not None:
+            # key computation builds the DFG and the fabric, so a bad job
+            # (unknown kernel, preset/size mismatch) fails here — isolate
+            # it like any other per-job failure instead of aborting the batch
+            try:
+                hit = store.get(job_key(job))
+            except Exception as exc:  # noqa: BLE001 - reported per job
+                resolved[job] = CompileFailure(
+                    job=job, error=type(exc).__name__, message=str(exc), cause=exc
+                )
+                continue
+        else:
+            hit = None
+        if hit is not None:
+            resolved[job] = hit
+        else:
+            pending.append(job)
+    if pending:
+        if workers > 1:
+            from repro.compiler.search import SearchContext
+
+            with SearchContext.create(workers) as ctx:
+                # Bounded orchestration threads: each blocks on probe
+                # futures, so the thread count is about coordination, not
+                # CPU — the shared budget bounds actual parallelism, and
+                # misses beyond the cap queue in input order.
+                n_threads = _coordination_threads(len(pending), workers)
+                with ThreadPoolExecutor(max_workers=n_threads) as tp:
+                    compiled = list(
+                        tp.map(lambda j: _job_outcome(j, search=ctx), pending)
+                    )
+        else:
+            compiled = [_job_outcome(job) for job in pending]
+        for job, outcome in zip(pending, compiled):
+            if isinstance(outcome, CompileFailure):
+                resolved[job] = outcome
+                continue
+            artifact, seconds = outcome
+            resolved[job] = artifact
+            if store is not None:
+                store.note_compile_time(seconds)
+                store.put(artifact)
+    return [resolved[job] for job in jobs]
+
+
 def compile_many(
     jobs: Iterable[CompileJob],
     *,
@@ -308,38 +427,16 @@ def compile_many(
     never oversubscribe — each miss holds at least one probe slot, and
     idle slots drain into speculative probes of the stragglers.  Results
     are byte-identical to the serial path, only wall-clock changes.
-    """
-    jobs = list(jobs)
-    resolved: dict[CompileJob, CompiledKernel] = {}
-    pending: list[CompileJob] = []
-    for job in jobs:
-        if job in resolved or job in pending:
-            continue
-        hit = store.get(job_key(job)) if store is not None else None
-        if hit is not None:
-            resolved[job] = hit
-        else:
-            pending.append(job)
-    if pending:
-        if workers > 1:
-            from repro.compiler.search import SearchContext
 
-            with SearchContext.create(workers) as ctx:
-                # One orchestration thread per miss: each blocks on probe
-                # futures, so the thread count is about coordination, not
-                # CPU — the shared budget bounds actual parallelism.
-                with ThreadPoolExecutor(max_workers=len(pending)) as tp:
-                    compiled = list(
-                        tp.map(lambda j: compile_job(j, search=ctx), pending)
-                    )
-        else:
-            compiled = [compile_job(job) for job in pending]
-        for job, (artifact, seconds) in zip(pending, compiled):
-            resolved[job] = artifact
-            if store is not None:
-                store.note_compile_time(seconds)
-                store.put(artifact)
-    return [resolved[job] for job in jobs]
+    A failing job raises (the first failure in input order) after the
+    rest of the batch has compiled and been stored; callers that need
+    per-job errors use :func:`compile_many_outcomes`.
+    """
+    outcomes = compile_many_outcomes(jobs, store=store, workers=workers)
+    for outcome in outcomes:
+        if isinstance(outcome, CompileFailure):
+            outcome.raise_()
+    return outcomes
 
 
 def compile_kernel(

@@ -9,20 +9,28 @@ again.  There is no schema-version-keyed invalidation dance to forget
 the artifact encoding itself changes).
 
 Writes are atomic (temp file + ``os.replace``), so a crashed or concurrent
-compile can never leave a half-written artifact behind.  Reads are
-corruption-tolerant: an unreadable or mismatched file is *logged* as a
+compile can never leave a half-written artifact behind.  Temp names embed
+pid, thread id and a per-store sequence number, so two threads persisting
+the same key in one process never share a ``.tmp`` path (a pid-only name
+would let one thread ``os.replace`` the other's half-written file).  Reads
+are corruption-tolerant: an unreadable or mismatched file is *logged* as a
 warning — never silently swallowed — and treated as a miss.
 
 The store counts hits, misses, writes and mapper seconds, which is how the
 bench CLI reports cache effectiveness (a warm ``python -m repro.bench``
-run shows zero misses — zero mapper invocations).
+run shows zero misses — zero mapper invocations).  The counters are
+guarded by a per-store lock — the same merge discipline as the compiler's
+process-wide stat totals (:mod:`repro.compiler.stats`) — so concurrent
+service handlers never lose increments.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import os
+import threading
 from pathlib import Path
 
 from repro.pipeline.artifact import CompiledKernel, ArtifactKey
@@ -48,6 +56,12 @@ class ArtifactStore:
         self.misses = 0
         self.puts = 0
         self.compile_seconds = 0.0
+        #: Guards the counters above: handlers on concurrent service
+        #: threads increment through it so no update is ever lost.
+        self._lock = threading.Lock()
+        #: Per-store temp-name sequence; pid + thread id + this counter
+        #: make every in-flight ``put`` temp path unique.
+        self._tmp_seq = itertools.count()
 
     # -- addressing -----------------------------------------------------------------
 
@@ -94,17 +108,17 @@ class ArtifactStore:
         try:
             raw = json.loads(path.read_text())
         except FileNotFoundError:
-            self.misses += 1
+            self._count_miss()
             return None
         except (OSError, json.JSONDecodeError) as exc:
             logger.warning("discarding unreadable artifact %s: %s", path, exc)
-            self.misses += 1
+            self._count_miss()
             return None
         try:
             artifact = CompiledKernel.from_json_dict(raw)
         except ArtifactError as exc:
             logger.warning("discarding incompatible artifact %s: %s", path, exc)
-            self.misses += 1
+            self._count_miss()
             return None
         if artifact.key != key:
             logger.warning(
@@ -113,16 +127,20 @@ class ArtifactStore:
                 artifact.key,
                 key,
             )
-            self.misses += 1
+            self._count_miss()
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return artifact
 
     def put(self, artifact: CompiledKernel) -> Path | None:
         """Persist *artifact* atomically; best-effort but never silent."""
         path = self.path_for(artifact.key)
-        # repro: allow[DET-WALL-CLOCK] pid only names the temp file for atomic replace; never reaches artifact bytes
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with self._lock:
+            seq = next(self._tmp_seq)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.{seq}.tmp"  # repro: allow[DET-WALL-CLOCK] pid/tid/seq only name the temp file for atomic replace; never reach artifact bytes
+        )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp.write_text(artifact.to_json())
@@ -131,29 +149,38 @@ class ArtifactStore:
             logger.warning("could not persist artifact %s: %s", path, exc)
             tmp.unlink(missing_ok=True)
             return None
-        self.puts += 1
+        with self._lock:
+            self.puts += 1
         return path
 
     # -- accounting -----------------------------------------------------------------
 
+    def _count_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
     def note_compile_time(self, seconds: float) -> None:
-        self.compile_seconds += seconds
+        with self._lock:
+            self.compile_seconds += seconds
 
     def reset_stats(self) -> None:
-        self.hits = self.misses = self.puts = 0
-        self.compile_seconds = 0.0
+        with self._lock:
+            self.hits = self.misses = self.puts = 0
+            self.compile_seconds = 0.0
 
     def stats(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "puts": self.puts,
-            "compile_seconds": round(self.compile_seconds, 3),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "compile_seconds": round(self.compile_seconds, 3),
+            }
 
     def describe(self) -> str:
+        stats = self.stats()
         return (
-            f"artifact cache ({self.root}): {self.hits} hit(s), "
-            f"{self.misses} miss(es), {self.puts} write(s), "
-            f"{self.compile_seconds:.1f}s compiling"
+            f"artifact cache ({self.root}): {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es), {stats['puts']} write(s), "
+            f"{stats['compile_seconds']:.1f}s compiling"
         )

@@ -1,0 +1,57 @@
+"""``python -m repro.serve`` — run the compile service.
+
+Example::
+
+    python -m repro.serve --port 8741 --workers 4 --slots 4
+    curl -s localhost:8741/healthz
+    curl -s -XPOST localhost:8741/compile -d '{"kernel": "sor", "size": 4, "page_size": 4}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.server import serve_forever
+from repro.serve.service import ServiceConfig
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Async multi-tenant compile-as-a-service front door.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8741)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="probe worker processes in the warm search pool "
+        "(>= 2 enables speculative ladders and mid-ladder cancellation)",
+    )
+    p.add_argument(
+        "--slots",
+        type=int,
+        default=2,
+        help="concurrent compile slots (fair-scheduler dispatch width)",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR/.repro_artifacts)",
+    )
+    args = p.parse_args(argv)
+    config = ServiceConfig(
+        store_root=args.store, workers=args.workers, slots=args.slots
+    )
+    try:
+        asyncio.run(serve_forever(config, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("repro.serve: interrupted, shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

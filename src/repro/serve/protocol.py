@@ -1,0 +1,245 @@
+"""Wire protocol of the compile service: requests, results, HTTP framing.
+
+The service speaks plain HTTP/1.1 with JSON bodies (no third-party
+dependencies — the framing below is a minimal, strict subset) plus a
+JSON-RPC 2.0 endpoint (``POST /rpc``) that maps onto the same handlers.
+
+The one deliberate wire-format choice: a successful ``POST /compile``
+response body is the **raw artifact JSON exactly as stored** — byte
+identical to the :class:`~repro.pipeline.store.ArtifactStore` file and
+therefore to offline :func:`~repro.pipeline.compile.compile_many` output —
+with the serving metadata (cache source, request id, compile seconds) in
+``X-Repro-*`` headers, never mixed into the payload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.pipeline.compile import CompileJob
+
+__all__ = [
+    "ProtocolError",
+    "CompileRequest",
+    "ServeResult",
+    "HttpRequest",
+    "read_http_request",
+    "http_response",
+    "json_response",
+    "rpc_result",
+    "rpc_error",
+]
+
+#: Request body size cap (1 MiB): compile requests are a handful of small
+#: fields; anything larger is a malformed or hostile client.
+MAX_BODY_BYTES = 1 << 20
+
+_VALID_PREFER = ("square", "column", "row")
+_VALID_BACKENDS = ("flat", "hier", "exact")
+
+
+class ProtocolError(ValueError):
+    """A malformed request (HTTP framing or request-field validation)."""
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One tenant's compile request, validated off the wire.
+
+    Mirrors :class:`~repro.pipeline.compile.CompileJob` plus the serving
+    fields: ``tenant`` (fair-scheduling bucket), ``priority`` (higher
+    dispatches first within a tenant) and ``request_id`` (cancellation
+    handle; server-assigned when absent).
+    """
+
+    kernel: str
+    size: int = 4
+    page_size: int = 4
+    prefer: str = "square"
+    seed: int = 0
+    arch: str | None = None
+    backend: str = "flat"
+    tenant: str = "default"
+    priority: int = 0
+    request_id: str | None = None
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "CompileRequest":
+        if not isinstance(raw, dict):
+            raise ProtocolError(f"request body must be a JSON object, got {type(raw).__name__}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ProtocolError(f"unknown request field(s): {', '.join(unknown)}")
+        kernel = raw.get("kernel")
+        if not isinstance(kernel, str) or not kernel:
+            raise ProtocolError("'kernel' is required and must be a non-empty string")
+        out = {"kernel": kernel}
+        for name, typ in (
+            ("size", int),
+            ("page_size", int),
+            ("seed", int),
+            ("priority", int),
+        ):
+            if name in raw:
+                value = raw[name]
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ProtocolError(f"'{name}' must be an integer")
+                out[name] = value
+        for name in ("prefer", "backend", "tenant", "arch", "request_id"):
+            if name in raw and raw[name] is not None:
+                value = raw[name]
+                if not isinstance(value, str):
+                    raise ProtocolError(f"'{name}' must be a string")
+                out[name] = value
+        req = cls(**out)
+        if req.size < 1 or req.page_size < 1:
+            raise ProtocolError("'size' and 'page_size' must be >= 1")
+        if req.prefer not in _VALID_PREFER:
+            raise ProtocolError(
+                f"'prefer' must be one of {_VALID_PREFER}, got {req.prefer!r}"
+            )
+        if req.backend not in _VALID_BACKENDS:
+            raise ProtocolError(
+                f"'backend' must be one of {_VALID_BACKENDS}, got {req.backend!r}"
+            )
+        if not req.tenant:
+            raise ProtocolError("'tenant' must be non-empty")
+        return req
+
+    def to_job(self) -> CompileJob:
+        return CompileJob(
+            kernel=self.kernel,
+            size=self.size,
+            page_size=self.page_size,
+            prefer=self.prefer,
+            seed=self.seed,
+            arch=self.arch,
+            backend=self.backend,
+        )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The service's answer to one compile request.
+
+    ``source`` says how the bytes were obtained: ``"hit"`` (already in the
+    store), ``"compiled"`` (this request led the compile), ``"coalesced"``
+    (rode a sibling's in-flight compile).  On failure ``body`` is None and
+    ``error``/``message`` carry the structured per-request error.
+    """
+
+    request_id: str
+    digest: str | None = None
+    source: str | None = None
+    body: bytes | None = None
+    seconds: float = 0.0
+    error: str | None = None
+    message: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.body is not None
+
+    def meta(self) -> dict:
+        out = {
+            "request_id": self.request_id,
+            "digest": self.digest,
+            "source": self.source,
+            "seconds": round(self.seconds, 4),
+        }
+        if not self.ok:
+            out["error"] = self.error
+            out["message"] = self.message
+        return out
+
+
+# ------------------------------------------------------------- HTTP framing
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        try:
+            return json.loads(self.body) if self.body else {}
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_http_request(reader) -> HttpRequest | None:
+    """Parse one HTTP/1.1 request off *reader*; None on a clean EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, path, _version = line.decode("ascii").split()
+    except ValueError as exc:
+        raise ProtocolError(f"malformed request line: {line!r}") from exc
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"content-length {length} out of bounds")
+    body = await reader.readexactly(length) if length else b""
+    return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+def http_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 keep-alive response."""
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: keep-alive",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def json_response(
+    status: int, payload: dict, headers: dict[str, str] | None = None
+) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return http_response(status, body, headers=headers)
+
+
+# --------------------------------------------------------------- JSON-RPC 2.0
+
+
+def rpc_result(rpc_id, result) -> dict:
+    return {"jsonrpc": "2.0", "id": rpc_id, "result": result}
+
+
+def rpc_error(rpc_id, code: int, message: str) -> dict:
+    return {"jsonrpc": "2.0", "id": rpc_id, "error": {"code": code, "message": message}}

@@ -1,0 +1,347 @@
+"""The compile service: singleflight + fair scheduler + warm worker pool.
+
+:class:`CompileService` is the transport-independent core the HTTP server
+(:mod:`repro.serve.server`) and the bench harness drive directly.  One
+instance owns:
+
+* the :class:`~repro.pipeline.store.ArtifactStore` (thread-safe counters,
+  atomic unique-temp writes — the PR's store fixes are what make sharing
+  one store across handler threads sound);
+* one **warm, long-lived** :class:`~repro.compiler.search.SearchContext`
+  (``workers >= 2``): probe processes fork once at startup and serve every
+  request's ladders, instead of a pool per batch;
+* a worker thread pool of ``slots + 2`` threads: one per scheduler
+  dispatch slot, plus headroom so request-key resolution stays responsive
+  while every compile slot is busy;
+* the :class:`~repro.serve.singleflight.Singleflight` table and the
+  :class:`~repro.serve.scheduler.FairScheduler`.
+
+Request lifecycle: resolve the job to its ArtifactKey digest (off-loop —
+it builds the DFG), join the digest's flight; the flight leader schedules
+the store-check-then-compile onto the fair scheduler; waiters coalesce.
+Served bytes are always read back from the store file, so they are
+byte-identical to offline ``compile_many`` output.  Cancellation detaches
+one waiter; the last detach fires the flight's token, which drops a
+queued compile at pick time or stops a running ladder at its next probe
+boundary (:class:`~repro.compiler.search.CancelledSearch`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.compiler.search import CancelledSearch, SearchContext
+from repro.pipeline.artifact import ArtifactKey
+from repro.pipeline.compile import CompileJob, compile_job, job_key
+from repro.pipeline.store import ArtifactStore
+from repro.serve.protocol import CompileRequest, ServeResult
+from repro.serve.scheduler import CancelToken, FairScheduler, RequestCancelled
+from repro.serve.singleflight import Flight, Singleflight
+from repro.util.errors import ReproError
+
+__all__ = ["ServiceConfig", "CompileService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning for one service instance.
+
+    ``workers >= 2`` pre-forks that many probe processes into the warm
+    :class:`~repro.compiler.search.SearchContext`; ``workers = 1`` compiles
+    serially on the handler thread (no speculative pool — mid-ladder
+    cancellation then degrades to queue-time cancellation).  ``slots``
+    bounds concurrent compiles; ``tenant_weights`` feeds the weighted
+    round-robin (missing tenants get ``default_weight``).
+    """
+
+    store_root: str | None = None
+    workers: int = 1
+    slots: int = 2
+    tenant_weights: dict[str, int] | None = None
+    default_weight: int = 1
+
+
+@dataclass
+class _FlightOutcome:
+    """What a resolved flight publishes to its waiters."""
+
+    digest: str
+    source: str | None = None  # "hit" | "compiled"
+    body: bytes | None = None
+    seconds: float = 0.0
+    error: str | None = None
+    message: str | None = None
+
+
+@dataclass
+class _ActiveRequest:
+    flight: Flight
+    waiter: asyncio.Future
+    cancelled: bool = field(default=False)
+
+
+class CompileService:
+    """The multi-tenant compile front door (transport-independent)."""
+
+    def __init__(
+        self, config: ServiceConfig | None = None, *, store: ArtifactStore | None = None
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.store = store if store is not None else ArtifactStore(self.config.store_root)
+        self.flights = Singleflight()
+        self.scheduler = FairScheduler(
+            self.config.slots,
+            weights=self.config.tenant_weights,
+            default_weight=self.config.default_weight,
+        )
+        self._search: SearchContext | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._active: dict[str, _ActiveRequest] = {}
+        self._leader_tasks: dict[str, asyncio.Task] = {}
+        self._seq = 0
+        self._started = False
+        # request-level counters: only ever touched on the event loop
+        self.requests = 0
+        self.hits = 0
+        self.compiles = 0
+        self.errors = 0
+        self.cancelled = 0
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    async def start(self) -> "CompileService":
+        if self._started:
+            return self
+        loop = asyncio.get_running_loop()
+        # slots compile threads plus headroom: key resolution (joining a
+        # flight, hence cancellability) must never starve behind ladders
+        # occupying every compile slot
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.slots + 2, thread_name_prefix="repro-serve"
+        )
+        if self.config.workers >= 2:
+            # warm pool: fork every probe worker now, before any handler
+            # thread exists, and keep it for the server's whole lifetime
+            self._search = await loop.run_in_executor(
+                self._pool, SearchContext.create, self.config.workers
+            )
+        self.scheduler.start()
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        if not self._started:
+            return
+        await self.scheduler.stop()
+        for task in list(self._leader_tasks.values()):
+            await task
+        if self._search is not None:
+            self._search.close()
+            self._search = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._started = False
+
+    async def __aenter__(self) -> "CompileService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- the request path -----------------------------------------------------------
+
+    def _next_request_id(self, request: CompileRequest) -> str:
+        self._seq += 1
+        return f"{request.tenant}-{self._seq}"
+
+    async def submit(self, request: CompileRequest) -> ServeResult:
+        """Serve one compile request end to end; never raises for
+        per-request failures (they come back as structured errors)."""
+        if not self._started:
+            raise RuntimeError("service is not started")
+        loop = asyncio.get_running_loop()
+        rid = request.request_id or self._next_request_id(request)
+        if rid in self._active:
+            return ServeResult(
+                request_id=rid,
+                error="DuplicateRequest",
+                message=f"request id {rid!r} is already active",
+            )
+        self.requests += 1
+        job = request.to_job()
+        try:
+            key: ArtifactKey = await loop.run_in_executor(self._pool, job_key, job)
+        except ReproError as exc:
+            self.errors += 1
+            return ServeResult(
+                request_id=rid, error=type(exc).__name__, message=str(exc)
+            )
+        flight, leader = self.flights.join(key.digest)
+        if leader:
+            self._lead_flight(flight, job, key, request)
+        waiter: asyncio.Future = loop.create_future()
+
+        def _on_flight_done(fut: asyncio.Future) -> None:
+            if not waiter.done():
+                waiter.set_result(fut.result())
+
+        flight.future.add_done_callback(_on_flight_done)
+        self._active[rid] = _ActiveRequest(flight=flight, waiter=waiter)
+        try:
+            outcome: _FlightOutcome | None = await waiter
+        finally:
+            active = self._active.pop(rid)
+            # single detach per request: cancel() only resolves the waiter,
+            # the flight refcount is always settled here
+            self.flights.leave(flight)
+        if active.cancelled or outcome is None:
+            self.cancelled += 1
+            return ServeResult(
+                request_id=rid,
+                digest=key.digest,
+                error="RequestCancelled",
+                message="request was cancelled",
+            )
+        if outcome.body is None:
+            self.errors += 1
+            return ServeResult(
+                request_id=rid,
+                digest=key.digest,
+                source=outcome.source,
+                seconds=outcome.seconds,
+                error=outcome.error,
+                message=outcome.message,
+            )
+        source = outcome.source if leader else "coalesced"
+        if outcome.source == "hit" and leader:
+            self.hits += 1
+        return ServeResult(
+            request_id=rid,
+            digest=key.digest,
+            source=source,
+            body=outcome.body,
+            seconds=outcome.seconds,
+        )
+
+    async def cancel(self, request_id: str) -> bool:
+        """Cancel one active request; True when it was still in flight.
+        Other waiters coalesced onto the same compile are untouched — the
+        underlying ladder stops only when its last waiter cancels."""
+        active = self._active.get(request_id)
+        if active is None or active.waiter.done():
+            return False
+        active.cancelled = True
+        active.waiter.set_result(None)
+        return True
+
+    # -- the flight leader ----------------------------------------------------------
+
+    def _lead_flight(
+        self, flight: Flight, job: CompileJob, key: ArtifactKey, request: CompileRequest
+    ) -> None:
+        """Schedule the flight's store-check-then-compile and publish its
+        outcome to every waiter."""
+        sched = self.scheduler.submit(
+            self._make_work(job, key),
+            tenant=request.tenant,
+            priority=request.priority,
+            token=flight.token,
+        )
+
+        async def _lead() -> None:
+            try:
+                outcome = await sched.future
+            except (RequestCancelled, CancelledSearch) as exc:
+                outcome = _FlightOutcome(
+                    digest=key.digest, error="RequestCancelled", message=str(exc)
+                )
+            except ReproError as exc:
+                outcome = _FlightOutcome(
+                    digest=key.digest, error=type(exc).__name__, message=str(exc)
+                )
+            except Exception as exc:  # noqa: BLE001 - structured per-request error
+                outcome = _FlightOutcome(
+                    digest=key.digest, error=type(exc).__name__, message=str(exc)
+                )
+            if outcome.source == "compiled":
+                self.compiles += 1
+            self.flights.resolve(flight, outcome)
+
+        task = asyncio.get_running_loop().create_task(_lead())
+        self._leader_tasks[flight.digest] = task
+        task.add_done_callback(
+            lambda _t, digest=flight.digest: self._leader_tasks.pop(digest, None)
+        )
+
+    def _make_work(self, job: CompileJob, key: ArtifactKey):
+        loop = asyncio.get_running_loop()
+
+        async def work(token: CancelToken) -> _FlightOutcome:
+            return await loop.run_in_executor(
+                self._pool, self._compile_blocking, job, key, token
+            )
+
+        return work
+
+    def _compile_blocking(
+        self, job: CompileJob, key: ArtifactKey, token: CancelToken
+    ) -> _FlightOutcome:
+        """The worker-thread body: store probe, then (on a miss) one
+        mapper invocation with the warm search pool; served bytes are read
+        back from the store file for byte parity with offline compiles."""
+        hit = self.store.get(key)
+        if hit is not None:
+            return _FlightOutcome(
+                digest=key.digest,
+                source="hit",
+                body=self.store.path_for(key).read_bytes(),
+            )
+        if token.cancelled:
+            raise CancelledSearch("cancelled before ladder start")
+        search = (
+            self._search.for_request(token.is_set)
+            if self._search is not None
+            else None
+        )
+        started = time.perf_counter()
+        artifact, seconds = compile_job(job, search=search)
+        self.store.note_compile_time(seconds)
+        path = self.store.put(artifact)
+        body = (
+            path.read_bytes()
+            if path is not None
+            else artifact.to_json().encode("utf-8")
+        )
+        return _FlightOutcome(
+            digest=key.digest,
+            source="compiled",
+            body=body,
+            seconds=time.perf_counter() - started,
+        )
+
+    # -- introspection --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        served = self.requests - self.errors - self.cancelled
+        return {
+            "requests": self.requests,
+            "served": served,
+            "hits": self.hits,
+            "compiles": self.compiles,
+            "coalesced": self.flights.coalesced,
+            "errors": self.errors,
+            "cancelled": self.cancelled,
+            "coalesce_rate": round(self.flights.coalesced / self.requests, 4)
+            if self.requests
+            else 0.0,
+            "cache_hit_rate": round(self.hits / self.requests, 4)
+            if self.requests
+            else 0.0,
+            "singleflight": self.flights.stats(),
+            "scheduler": self.scheduler.stats(),
+            "store": self.store.stats(),
+        }

@@ -264,3 +264,118 @@ class TestParallelFanout:
         warm_before = store.compile_seconds
         compile_many([CompileJob("sor", 4, 4)], store=store)
         assert store.compile_seconds == warm_before  # hits cost nothing
+
+
+# ------------------------------------------------------- store thread safety
+
+
+class TestStoreConcurrency:
+    def test_concurrent_same_key_puts(self, tmp_path):
+        """Threads persisting the same key race only on the final atomic
+        replace: unique temp names mean no thread can clobber another's
+        half-written file, every put succeeds, and the stored artifact
+        stays readable throughout."""
+        import threading
+
+        store = ArtifactStore(tmp_path / "store")
+        artifact = compile_many([CompileJob("sor", 4, 4)])[0]
+        n_threads, per_thread = 8, 5
+        barrier = threading.Barrier(n_threads)
+        failures: list[BaseException] = []
+
+        def hammer():
+            try:
+                barrier.wait()
+                for _ in range(per_thread):
+                    assert store.put(artifact) is not None
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert store.puts == n_threads * per_thread
+        # no temp-file debris, and the artifact reads back intact
+        leftovers = [p for p in (tmp_path / "store").rglob("*.tmp")]
+        assert leftovers == []
+        assert store.get(artifact.key) == artifact
+
+    def test_counters_locked_under_threads(self, tmp_path):
+        """hit/miss/put/compile_seconds increments never lose updates when
+        hammered from concurrent threads (the PR-9 merge discipline)."""
+        import threading
+
+        store = ArtifactStore(tmp_path / "store")
+        n_threads, per_thread = 8, 50
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(tid: int):
+            barrier.wait()
+            for i in range(per_thread):
+                store.note_compile_time(1.0)
+                key = ArtifactKey(f"dfg-{tid}-{i}", "arch", "mapper")
+                assert store.get(key) is None  # counted miss, under the lock
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert store.compile_seconds == float(total)
+        assert store.misses == total
+        assert store.stats()["misses"] == total
+        store.reset_stats()
+        assert store.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "compile_seconds": 0.0,
+        }
+
+
+# ------------------------------------------------------ batch fault isolation
+
+
+class TestBatchOutcomes:
+    def test_failures_isolated_per_job(self, tmp_path):
+        from repro.pipeline import CompileFailure, compile_many_outcomes
+        from repro.util.errors import WorkloadError
+
+        store = ArtifactStore(tmp_path / "store")
+        jobs = [
+            CompileJob("sor", 4, 2),
+            CompileJob("no-such-kernel", 4, 2),
+            CompileJob("mpeg", 4, 2),
+        ]
+        outcomes = compile_many_outcomes(jobs, store=store)
+        assert isinstance(outcomes[0], CompiledKernel)
+        assert isinstance(outcomes[2], CompiledKernel)
+        failure = outcomes[1]
+        assert isinstance(failure, CompileFailure)
+        assert failure.error == "WorkloadError"
+        # the siblings still compiled and were stored
+        assert store.puts == 2
+        # compile_many surfaces the same batch as the first original error
+        with pytest.raises(WorkloadError):
+            compile_many(jobs, store=ArtifactStore(tmp_path / "raise"))
+        # and the good jobs' artifacts are byte-identical to a clean batch
+        clean = compile_many([jobs[0], jobs[2]])
+        assert outcomes[0].to_json() == clean[0].to_json()
+        assert outcomes[2].to_json() == clean[1].to_json()
+
+    def test_coordination_threads_bounded(self):
+        from repro.pipeline.compile import (
+            MAX_COORDINATION_THREADS,
+            _coordination_threads,
+        )
+
+        assert _coordination_threads(3, 8) == 3  # never more than misses
+        assert _coordination_threads(1000, 4) == MAX_COORDINATION_THREADS
+        # but never fewer threads than probe workers to feed
+        assert _coordination_threads(1000, 64) == 64
